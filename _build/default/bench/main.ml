@@ -1,0 +1,142 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (at paper-comparable design sizes), then times the flow's
+   kernels with Bechamel.
+
+     dune exec bench/main.exe
+
+   The experiment tables correspond to DESIGN.md's per-experiment index:
+   E1/E2 (S3 classification, Figure 2), E3 (full adder), E4 (configuration
+   delay/area), E5 (compaction ablation), E6 (Table 1), E7 (Table 2),
+   E8 (headline claims), E9 (configuration distribution), E10 (flop-rich
+   PLB variant), E11 (flow ablations), E12 (power), E13 (vias), E14 (routing styles). *)
+
+open Vpga_core.Vpga
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let reproduce_tables () =
+  section "E1/E2: S3 classification of 3-input functions (Figure 2)";
+  Report.s3 Format.std_formatter ();
+  section "E3: Full-adder packing (Section 2.2)";
+  Report.full_adder Format.std_formatter ();
+  section "E4: Logic-configuration delay and area (Section 2.3)";
+  Report.config_delays Format.std_formatter ();
+  section "E5: Regularity-driven compaction ablation (Section 3.1)";
+  Report.compaction Format.std_formatter Experiments.Paper;
+  section "E6-E9: Full evaluation (paper-scale designs, both PLBs, both flows)";
+  let t0 = Unix.gettimeofday () in
+  let rows = Experiments.run_all ~seed:1 Experiments.Paper in
+  Format.printf "(flow sweep took %.1f s)@.@." (Unix.gettimeofday () -. t0);
+  Report.table1 Format.std_formatter rows;
+  Format.printf "@.";
+  Report.table2 Format.std_formatter rows;
+  Format.printf "@.";
+  Report.headlines Format.std_formatter (Experiments.headlines rows);
+  Format.printf "@.";
+  Report.config_distribution Format.std_formatter rows;
+  section
+    "E10: Domain-specific PLB exploration (flop-rich granular variant)";
+  Report.firewire_remedy Format.std_formatter Experiments.Paper;
+  section "E11: Flow ablations (refinement loop, criticality weighting)";
+  Report.ablation Format.std_formatter Experiments.Paper;
+  section "E12: Power comparison (flow b)";
+  Report.power Format.std_formatter rows;
+  section "E13: Configuration-via accounting";
+  Report.vias Format.std_formatter Experiments.Paper;
+  section "E14: Regular vs custom routing (future work)";
+  Report.routing_styles Format.std_formatter Experiments.Paper
+
+(* ---- Bechamel micro-benchmarks: one per experiment/table kernel ---- *)
+
+open Bechamel
+open Toolkit
+
+let alu8 = lazy (Alu.build ~width:8 ())
+let fixture_compacted =
+  lazy (Compact.run Arch.granular_plb (Lazy.force alu8))
+let fixture_placed =
+  lazy
+    (let nl = Buffering.insert ~max_fanout:8 (Lazy.force fixture_compacted) in
+     let pl = Placement.create nl in
+     Global_place.place ~seed:3 pl;
+     pl)
+
+let bench_tests =
+  [
+    (* E1: the Section-2 classification *)
+    Test.make ~name:"e1_s3_census" (Staged.stage (fun () -> ignore (S3.census ())));
+    (* E3: full-adder packing decision *)
+    Test.make ~name:"e3_full_adder_tiles"
+      (Staged.stage (fun () ->
+           ignore (Full_adder.tiles_needed Arch.granular_plb)));
+    (* E5 kernel: technology map + compact a small ALU *)
+    Test.make ~name:"e5_techmap_alu8"
+      (Staged.stage (fun () ->
+           ignore (Techmap.map Arch.granular_plb (Lazy.force alu8))));
+    Test.make ~name:"e5_compact_alu8"
+      (Staged.stage (fun () ->
+           ignore (Compact.run Arch.granular_plb (Lazy.force alu8))));
+    (* E6 kernels: the physical pipeline stages behind Table 1 *)
+    Test.make ~name:"e6_global_place"
+      (Staged.stage (fun () ->
+           let pl = Placement.create (Lazy.force fixture_compacted) in
+           Global_place.place ~seed:3 pl));
+    Test.make ~name:"e6_anneal_20k_moves"
+      (Staged.stage (fun () ->
+           ignore
+             (Anneal.refine ~iterations:20000 ~seed:5 (Lazy.force fixture_placed))));
+    Test.make ~name:"e6_quadrisect_pack"
+      (Staged.stage (fun () ->
+           ignore (Quadrisect.legalize Arch.granular_plb (Lazy.force fixture_placed))));
+    (* E7 kernels: routing and timing behind Table 2 *)
+    Test.make ~name:"e7_pathfinder_route"
+      (Staged.stage (fun () ->
+           ignore (Pathfinder.route_placement (Lazy.force fixture_placed))));
+    Test.make ~name:"e7_sta"
+      (Staged.stage (fun () ->
+           ignore (Sta.run (Lazy.force fixture_compacted))));
+    (* E7 detailed routing and the packing refinement loop *)
+    Test.make ~name:"e7_detail_route"
+      (Staged.stage (fun () ->
+           let r = Pathfinder.route_placement (Lazy.force fixture_placed) in
+           if r.Pathfinder.final_overflow = 0 then
+             ignore (Detail.run r.Pathfinder.grid r.Pathfinder.routes)));
+    (* FlowMap (exact max-flow labeling) on the ALU AIG *)
+    Test.make ~name:"flowmap_labels_alu8"
+      (Staged.stage (fun () ->
+           let b = Aig.of_netlist (Lazy.force alu8) in
+           ignore (Flowmap.labels b.Aig.aig ~k:3)));
+  ]
+
+let run_benchmarks () =
+  section "Kernel micro-benchmarks (Bechamel, monotonic clock)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols_results = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Format.printf "  %-24s %12.0f ns/run@."
+                (match String.index_opt name '/' with
+                | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+                | None -> name)
+                est
+          | Some _ | None -> Format.printf "  %-24s (no estimate)@." name)
+        ols_results)
+    bench_tests
+
+let () =
+  Format.printf "VPGA granularity exploration: paper-reproduction benchmark@.";
+  reproduce_tables ();
+  run_benchmarks ();
+  Format.printf "@.done.@."

@@ -1,0 +1,143 @@
+(* Command-line driver: regenerate any of the paper's experiments.
+
+     vpga s3                  Section-2.1 function classification (E1/E2)
+     vpga fa                  full-adder packing (E3)
+     vpga configs             configuration delay/area table (E4)
+     vpga compaction [-p]     compaction ablation (E5)
+     vpga tables [-p]         Tables 1 and 2 plus the headline claims (E6-E8)
+     vpga flow -d NAME -a ARCH  one design through one architecture *)
+
+open Cmdliner
+open Vpga_core.Vpga
+
+let paper_flag =
+  Arg.(
+    value & flag
+    & info [ "p"; "paper-scale" ]
+        ~doc:"Use paper-comparable design sizes (slower).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for the flow.")
+
+let scale_of p = if p then Experiments.Paper else Experiments.Test
+
+let s3_cmd =
+  let run () = Report.s3 Format.std_formatter () in
+  Cmd.v (Cmd.info "s3" ~doc:"Classify all 256 3-input functions (E1/E2)")
+    Term.(const run $ const ())
+
+let fa_cmd =
+  let run () = Report.full_adder Format.std_formatter () in
+  Cmd.v (Cmd.info "fa" ~doc:"Full-adder tile packing (E3)")
+    Term.(const run $ const ())
+
+let configs_cmd =
+  let run () = Report.config_delays Format.std_formatter () in
+  Cmd.v (Cmd.info "configs" ~doc:"Configuration delay/area table (E4)")
+    Term.(const run $ const ())
+
+let compaction_cmd =
+  let run paper = Report.compaction Format.std_formatter (scale_of paper) in
+  Cmd.v (Cmd.info "compaction" ~doc:"Compaction ablation (E5)")
+    Term.(const run $ paper_flag)
+
+let tables_cmd =
+  let run paper seed =
+    let rows = Experiments.run_all ~seed (scale_of paper) in
+    Report.table1 Format.std_formatter rows;
+    Format.printf "@.";
+    Report.table2 Format.std_formatter rows;
+    Format.printf "@.";
+    Report.headlines Format.std_formatter (Experiments.headlines rows);
+    Format.printf "@.";
+    Report.config_distribution Format.std_formatter rows
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce Tables 1 and 2 and the headline claims (E6-E9)")
+    Term.(const run $ paper_flag $ seed_arg)
+
+let design_of_name paper name =
+  let scale = scale_of paper in
+  match
+    List.find_opt
+      (fun (n, _) -> String.lowercase_ascii n = String.lowercase_ascii name)
+      (Experiments.designs scale)
+  with
+  | Some (_, nl) -> nl
+  | None ->
+      Fmt.failwith "unknown design %s (alu, firewire, fpu, 'network switch')"
+        name
+
+let flow_cmd =
+  let design =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "design" ] ~doc:"Design: alu, firewire, fpu, network switch.")
+  in
+  let arch =
+    Arg.(
+      value & opt string "granular"
+      & info [ "a"; "arch" ] ~doc:"PLB architecture: granular, lut, or granular2ff.")
+  in
+  let run paper seed design arch_name =
+    let nl = design_of_name paper design in
+    let arch =
+      match String.lowercase_ascii arch_name with
+      | "granular" | "granular_plb" -> Arch.granular_plb
+      | "granular2ff" | "granular_2ff" -> Arch.granular_2ff
+      | "lut" | "lut_plb" -> Arch.lut_plb
+      | other -> Fmt.failwith "unknown architecture %s" other
+    in
+    let pair = run_flow ~seed arch nl in
+    let show (o : Flow.outcome) =
+      Format.printf
+        "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
+        (match o.Flow.kind with Flow.Flow_a -> "a" | Flow.Flow_b -> "b")
+        o.Flow.die_area o.Flow.cell_area o.Flow.wirelength
+        o.Flow.avg_top10_slack o.Flow.wns
+        (match o.Flow.array_dims with
+        | Some (c, r) -> Printf.sprintf " [array %dx%d]" c r
+        | None -> "")
+    in
+    Format.printf "%s on %s (compaction saved %.1f%%)@."
+      (Netlist.design_name nl) arch.Arch.name
+      (100.0 *. pair.Flow.a.Flow.compaction_gain);
+    show pair.Flow.a;
+    show pair.Flow.b
+  in
+  Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
+    Term.(const run $ paper_flag $ seed_arg $ design $ arch)
+
+let export_cmd =
+  let design =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "design" ] ~doc:"Design: alu, firewire, fpu, network switch.")
+  in
+  let prefix =
+    Arg.(value & opt string "out" & info [ "o" ] ~doc:"Output file prefix.")
+  in
+  let run paper seed design prefix =
+    let nl = design_of_name paper design in
+    let arch = Arch.granular_plb in
+    let compacted = Compact.run arch nl in
+    let buffered = Buffering.insert ~max_fanout:8 compacted in
+    let pl = Placement.create buffered in
+    Global_place.place ~seed pl;
+    let q = Quadrisect.legalize arch pl in
+    Quadrisect.snap q pl;
+    Export.write_file (prefix ^ ".v") (Export.verilog buffered);
+    Export.write_file (prefix ^ ".def") (Export.def_ ~packing:q pl);
+    Export.write_file (prefix ^ ".svg") (Export.svg q pl);
+    Format.printf "wrote %s.v, %s.def, %s.svg@." prefix prefix prefix
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Pack a design and write Verilog/DEF/SVG artifacts")
+    Term.(const run $ paper_flag $ seed_arg $ design $ prefix)
+
+let () =
+  let doc = "VPGA logic-block granularity exploration (DATE 2004 reproduction)" in
+  let info = Cmd.info "vpga" ~doc in
+  exit (Cmd.eval (Cmd.group info [ s3_cmd; fa_cmd; configs_cmd; compaction_cmd; tables_cmd; flow_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_design.ml: Arch Array Flow Format Kind List Netlist Printf Simulate Vpga_core Wordgen

@@ -1,0 +1,1 @@
+examples/datapath_flow.ml: Arch Compact Config Flow Format Fpu List Netlist Printf Techmap Vpga_core

@@ -1,0 +1,1 @@
+examples/datapath_flow.mli:

@@ -1,0 +1,1 @@
+examples/export_layout.ml: Alu Anneal Arch Buffering Compact Detail Export Format Global_place Netlist Pathfinder Placement Quadrisect Refine Vpga_core

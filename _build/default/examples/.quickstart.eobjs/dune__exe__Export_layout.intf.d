@@ -1,0 +1,1 @@
+examples/export_layout.mli:

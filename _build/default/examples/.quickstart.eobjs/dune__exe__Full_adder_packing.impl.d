@@ -1,0 +1,1 @@
+examples/full_adder_packing.ml: Arch Array Bfun Compact Config Equiv Format Full_adder Gates List Netlist Packer Quadrisect Report Vpga_core Wordgen

@@ -1,0 +1,1 @@
+examples/function_explorer.ml: Arch Bfun Config Format List Report Vpga_core

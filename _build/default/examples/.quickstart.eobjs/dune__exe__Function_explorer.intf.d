@@ -1,0 +1,1 @@
+examples/function_explorer.mli:

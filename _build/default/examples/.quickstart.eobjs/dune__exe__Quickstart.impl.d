@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alu Flow Format Netlist Printf Vpga_core

@@ -1,0 +1,39 @@
+(* Explore the Section-2 Boolean analysis: classify all 256 3-input
+   functions (S3 feasibility, Figure-2 categories) and show, for a few named
+   functions, which logic configuration each PLB uses and at what delay.
+
+     dune exec examples/function_explorer.exe *)
+
+open Vpga_core.Vpga
+
+let v i = Bfun.var ~arity:3 i
+
+let named_functions =
+  [
+    ("and3", Bfun.(v 0 &&& v 1 &&& v 2));
+    ("nand3", Bfun.(lnot (v 0 &&& v 1 &&& v 2)));
+    ("mux(c;a,b)", Bfun.mux ~sel:(v 2) (v 0) (v 1));
+    ("xor2", Bfun.(v 0 ^^^ v 1));
+    ("xor3", Bfun.(v 0 ^^^ v 1 ^^^ v 2));
+    ("majority", Bfun.((v 0 &&& v 1) ||| (v 1 &&& v 2) ||| (v 0 &&& v 2)));
+    ("one-hot", Bfun.make ~arity:3 0x16);
+    ("aoi", Bfun.(lnot ((v 0 &&& v 1) ||| v 2)));
+  ]
+
+let () =
+  Report.s3 Format.std_formatter ();
+  Format.printf "@.Per-function mapping (load = 10 fF):@.";
+  Format.printf "  %-12s %-18s %-10s %8s   %-10s %8s@." "function" "tt"
+    "granular" "ps" "lut-plb" "ps";
+  List.iter
+    (fun (name, f) ->
+      let cg = Config.choose Arch.granular_plb f in
+      let cl = Config.choose Arch.lut_plb f in
+      Format.printf "  %-12s %-18s %-10s %8.1f   %-10s %8.1f@." name
+        (Bfun.to_string f) (Config.name cg)
+        (Config.delay cg ~load:10.0)
+        (Config.name cl)
+        (Config.delay cl ~load:10.0))
+    named_functions;
+  Format.printf "@.";
+  Report.config_delays Format.std_formatter ()

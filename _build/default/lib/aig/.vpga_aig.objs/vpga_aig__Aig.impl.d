@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Hashtbl List Vpga_logic Vpga_netlist

@@ -1,0 +1,1 @@
+lib/aig/aig.mli: Vpga_logic Vpga_netlist

@@ -1,0 +1,1 @@
+lib/aig/cut.ml: Aig Array List Vpga_logic

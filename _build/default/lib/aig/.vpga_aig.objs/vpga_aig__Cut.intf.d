@@ -1,0 +1,1 @@
+lib/aig/cut.mli: Aig Vpga_logic

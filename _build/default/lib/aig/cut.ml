@@ -1,0 +1,114 @@
+module Bfun = Vpga_logic.Bfun
+
+type t = { leaves : int array; tt : Bfun.t }
+
+let trivial id = { leaves = [| id |]; tt = Bfun.var ~arity:1 0 }
+
+let leaf_count c = Array.length c.leaves
+
+(* Re-express [tt] (over [leaves]) over the superset [union]. *)
+let expand tt leaves union =
+  let m = Array.length union in
+  let pos =
+    Array.map
+      (fun leaf ->
+        let rec find i = if union.(i) = leaf then i else find (i + 1) in
+        find 0)
+      leaves
+  in
+  let out = ref 0 in
+  for minterm = 0 to (1 lsl m) - 1 do
+    let sub = ref 0 in
+    Array.iteri
+      (fun i p -> if (minterm lsr p) land 1 = 1 then sub := !sub lor (1 lsl i))
+      pos;
+    if Bfun.eval tt !sub then out := !out lor (1 lsl minterm)
+  done;
+  Bfun.make ~arity:m !out
+
+let merge_leaves ~k a b =
+  let out = Array.make k 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i >= Array.length a && j >= Array.length b then
+      Some (Array.sub out 0 n)
+    else if
+      j >= Array.length b || (i < Array.length a && a.(i) < b.(j))
+    then begin
+      if n = k then None
+      else begin
+        out.(n) <- a.(i);
+        go (i + 1) j (n + 1)
+      end
+    end
+    else if i >= Array.length a || b.(j) < a.(i) then begin
+      if n = k then None
+      else begin
+        out.(n) <- b.(j);
+        go i (j + 1) (n + 1)
+      end
+    end
+    else begin
+      (* equal *)
+      if n = k then None
+      else begin
+        out.(n) <- a.(i);
+        go (i + 1) (j + 1) (n + 1)
+      end
+    end
+  in
+  go 0 0 0
+
+let merge ~k c0 pol0 c1 pol1 =
+  match merge_leaves ~k c0.leaves c1.leaves with
+  | None -> None
+  | Some union ->
+      let t0 = expand c0.tt c0.leaves union in
+      let t1 = expand c1.tt c1.leaves union in
+      let t0 = if pol0 then Bfun.lnot t0 else t0 in
+      let t1 = if pol1 then Bfun.lnot t1 else t1 in
+      Some { leaves = union; tt = Bfun.(t0 &&& t1) }
+
+let same_leaves a b =
+  Array.length a.leaves = Array.length b.leaves
+  && (let rec eq i =
+        i >= Array.length a.leaves
+        || (a.leaves.(i) = b.leaves.(i) && eq (i + 1))
+      in
+      eq 0)
+
+let enumerate aig ~k ~max_cuts =
+  let n = Aig.size aig in
+  let cuts = Array.make n [] in
+  cuts.(0) <- [ trivial 0 ];
+  for id = 1 to n - 1 do
+    if Aig.is_pi aig id then cuts.(id) <- [ trivial id ]
+    else begin
+      let l0, l1 = Aig.fanins aig id in
+      let c0s = cuts.(Aig.node_of l0) and c1s = cuts.(Aig.node_of l1) in
+      let acc = ref [] in
+      List.iter
+        (fun c0 ->
+          List.iter
+            (fun c1 ->
+              match
+                merge ~k c0 (Aig.is_complement l0) c1 (Aig.is_complement l1)
+              with
+              | None -> ()
+              | Some c -> if not (List.exists (same_leaves c) !acc) then acc := c :: !acc)
+            c1s)
+        c0s;
+      (* Larger cuts first: they swallow more logic per supernode, which is
+         what the area-oriented cover wants; the fanin pair cut and the
+         trivial cut keep the small end covered. *)
+      let sorted =
+        List.stable_sort (fun a b -> compare (leaf_count b) (leaf_count a)) !acc
+      in
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+      in
+      cuts.(id) <- trivial id :: take max_cuts sorted
+    end
+  done;
+  cuts

@@ -1,0 +1,22 @@
+(** K-feasible cut enumeration with cut functions (priority cuts).
+
+    A cut of node [n] is a set of at most [k] nodes ("leaves") such that
+    every path from a PI to [n] passes through a leaf; its function is the
+    truth table of [n] over the leaves.  These are the "supernodes
+    corresponding to functions with 3 or less inputs" of the paper's
+    compaction step. *)
+
+type t = {
+  leaves : int array;  (** AIG node ids, ascending *)
+  tt : Vpga_logic.Bfun.t;  (** function of the node over the leaves *)
+}
+
+val trivial : int -> t
+(** The singleton cut of a node (identity function). *)
+
+val enumerate : Aig.t -> k:int -> max_cuts:int -> t list array
+(** [enumerate aig ~k ~max_cuts] returns, for every node id, its priority
+    cuts (the trivial cut always included; smaller cuts preferred).
+    PIs and the constant node get only their trivial cut. *)
+
+val leaf_count : t -> int

@@ -1,0 +1,1 @@
+lib/cells/cell.ml: Format

@@ -1,0 +1,1 @@
+lib/cells/cell.mli: Format

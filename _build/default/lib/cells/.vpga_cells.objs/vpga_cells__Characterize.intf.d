@@ -1,0 +1,1 @@
+lib/cells/characterize.mli: Cell

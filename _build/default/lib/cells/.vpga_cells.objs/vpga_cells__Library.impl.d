@@ -1,0 +1,1 @@
+lib/cells/library.ml: Cell Characterize Format List

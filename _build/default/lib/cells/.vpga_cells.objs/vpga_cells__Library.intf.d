@@ -1,0 +1,1 @@
+lib/cells/library.mli: Cell Format

@@ -1,0 +1,21 @@
+type seq = { setup : float; clk_to_q : float }
+
+type t = {
+  name : string;
+  area : float;
+  input_cap : float;
+  intrinsic : float;
+  resistance : float;
+  via_sites : int;
+  sequential : seq option;
+}
+
+let delay c ~load = c.intrinsic +. (c.resistance *. load)
+
+let pp ppf c =
+  Format.fprintf ppf
+    "%s: area=%.1fum2 cin=%.1ffF t0=%.1fps r=%.2fps/fF vias=%d%s" c.name c.area
+    c.input_cap c.intrinsic c.resistance c.via_sites
+    (match c.sequential with
+    | None -> ""
+    | Some s -> Format.asprintf " (setup=%.0f clk-q=%.0f)" s.setup s.clk_to_q)

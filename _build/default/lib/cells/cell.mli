@@ -1,0 +1,24 @@
+(** A characterized component cell of a PLB architecture.
+
+    Each component cell has a fixed size (the paper: "each component cell has
+    a fixed size which is chosen to give a good power-delay tradeoff"), so a
+    single linear delay model per cell suffices:
+    [delay = intrinsic + resistance * load]. *)
+
+type seq = { setup : float; clk_to_q : float }
+
+type t = {
+  name : string;
+  area : float;  (** layout area, um^2 *)
+  input_cap : float;  (** per input pin, fF *)
+  intrinsic : float;  (** parasitic delay, ps *)
+  resistance : float;  (** effective drive resistance, ps/fF *)
+  via_sites : int;  (** potential via locations used for configuration *)
+  sequential : seq option;
+}
+
+val delay : t -> load:float -> float
+(** Pin-to-output delay in ps under [load] fF.  For a sequential cell this is
+    the clk-to-Q delay (intrinsic already includes it). *)
+
+val pp : Format.formatter -> t -> unit

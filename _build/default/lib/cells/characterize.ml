@@ -1,0 +1,60 @@
+let tau = 14.0
+let cin_unit = 2.0
+
+type template = {
+  t_name : string;
+  logical_effort : float;
+  parasitic : float;
+  drive : float;
+  t_area : float;
+  t_via_sites : int;
+  t_sequential : Cell.seq option;
+}
+
+let characterize t =
+  {
+    Cell.name = t.t_name;
+    area = t.t_area;
+    input_cap = t.logical_effort *. t.drive *. cin_unit;
+    intrinsic = t.parasitic *. tau;
+    resistance = tau /. (t.drive *. cin_unit);
+    via_sites = t.t_via_sites;
+    sequential = t.t_sequential;
+  }
+
+(* Logical-effort values follow Sutherland/Sproull conventions; the LUT3 is a
+   three-level pass-transistor mux tree with via-programmed rails, hence the
+   large parasitic delay and footprint (the paper: "the VPGA LUT is
+   substantially inferior to an equivalent standard cell ... when configured
+   as a simple logic function").  The XOA mux is deliberately sized up
+   (paper: "sized differently from the other two MUXes to minimize logic
+   delay"). *)
+let templates =
+  [
+    { t_name = "inv"; logical_effort = 1.0; parasitic = 1.0; drive = 2.0;
+      t_area = 6.0; t_via_sites = 2; t_sequential = None };
+    { t_name = "buf"; logical_effort = 1.0; parasitic = 2.0; drive = 4.0;
+      t_area = 10.0; t_via_sites = 2; t_sequential = None };
+    { t_name = "nd2wi"; logical_effort = 4.0 /. 3.0; parasitic = 2.0;
+      drive = 2.0; t_area = 12.0; t_via_sites = 6; t_sequential = None };
+    { t_name = "nd3wi"; logical_effort = 5.0 /. 3.0; parasitic = 3.0;
+      drive = 2.0; t_area = 16.0; t_via_sites = 8; t_sequential = None };
+    { t_name = "mux2"; logical_effort = 2.0; parasitic = 3.5; drive = 2.0;
+      t_area = 20.0; t_via_sites = 10; t_sequential = None };
+    { t_name = "xoa"; logical_effort = 2.0; parasitic = 3.0; drive = 3.0;
+      t_area = 26.0; t_via_sites = 12; t_sequential = None };
+    { t_name = "lut3"; logical_effort = 2.6; parasitic = 11.0; drive = 2.0;
+      t_area = 86.0; t_via_sites = 16; t_sequential = None };
+    { t_name = "dff"; logical_effort = 1.5; parasitic = 6.0; drive = 2.0;
+      t_area = 42.0; t_via_sites = 4;
+      t_sequential = Some { Cell.setup = 55.0; clk_to_q = 84.0 } };
+  ]
+
+let all_cells = List.map characterize templates
+
+let find name =
+  match List.find_opt (fun c -> c.Cell.name = name) all_cells with
+  | Some c -> c
+  | None -> raise Not_found
+
+let fo4 c = Cell.delay c ~load:(4.0 *. c.Cell.input_cap)

@@ -1,0 +1,22 @@
+type t = { name : string; cells : Cell.t list }
+
+let of_names name names = { name; cells = List.map Characterize.find names }
+
+let lut_plb = of_names "lut_plb" [ "lut3"; "nd3wi"; "inv"; "buf"; "dff" ]
+
+let granular_plb =
+  of_names "granular_plb" [ "mux2"; "xoa"; "nd3wi"; "inv"; "buf"; "dff" ]
+
+let find t name =
+  match List.find_opt (fun c -> c.Cell.name = name) t.cells with
+  | Some c -> c
+  | None -> raise Not_found
+
+let mem t name = List.exists (fun c -> c.Cell.name = name) t.cells
+
+let total_area t =
+  List.fold_left (fun acc c -> acc +. c.Cell.area) 0.0 t.cells
+
+let pp ppf t =
+  Format.fprintf ppf "library %s:@." t.name;
+  List.iter (fun c -> Format.fprintf ppf "  %a@." Cell.pp c) t.cells

@@ -1,0 +1,20 @@
+(** Restricted standard-cell libraries: "the component cells of the given PLB
+    architecture" (paper Section 3.1).  Technology mapping and the Flow-a
+    ASIC baseline are limited to exactly these cells. *)
+
+type t = { name : string; cells : Cell.t list }
+
+val lut_plb : t
+(** Component cells of the Figure-1 LUT-based PLB: lut3, nd3wi, inv, buf,
+    dff. *)
+
+val granular_plb : t
+(** Component cells of the Figure-4 granular PLB: mux2, xoa, nd3wi, inv, buf,
+    dff. *)
+
+val find : t -> string -> Cell.t
+(** @raise Not_found if the cell is not part of the library. *)
+
+val mem : t -> string -> bool
+val total_area : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/vpga.mli: Vpga_aig Vpga_cells Vpga_designs Vpga_flow Vpga_logic Vpga_mapper Vpga_maxflow Vpga_netlist Vpga_pack Vpga_place Vpga_plb Vpga_route Vpga_timing

@@ -1,0 +1,70 @@
+(** Public facade of the VPGA granularity-exploration library.
+
+    Re-exports the stable surface of every subsystem under one roof and
+    provides the three one-call entry points a downstream user needs:
+    {!classify_functions} (the Section-2 Boolean analysis),
+    {!compare_architectures} (run a design through both PLBs and both
+    flows), and {!run_flow} (one architecture).
+
+    See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+    paper-reproduction results. *)
+
+(** {1 Subsystems} *)
+
+module Bfun = Vpga_logic.Bfun
+module Gates = Vpga_logic.Gates
+module S3 = Vpga_logic.S3
+module Npn = Vpga_logic.Npn
+module Kind = Vpga_netlist.Kind
+module Netlist = Vpga_netlist.Netlist
+module Levelize = Vpga_netlist.Levelize
+module Simulate = Vpga_netlist.Simulate
+module Equiv = Vpga_netlist.Equiv
+module Stats = Vpga_netlist.Stats
+module Cell = Vpga_cells.Cell
+module Characterize = Vpga_cells.Characterize
+module Library = Vpga_cells.Library
+module Maxflow = Vpga_maxflow.Maxflow
+module Aig = Vpga_aig.Aig
+module Cut = Vpga_aig.Cut
+module Flowmap = Vpga_mapper.Flowmap
+module Techmap = Vpga_mapper.Techmap
+module Compact = Vpga_mapper.Compact
+module Arch = Vpga_plb.Arch
+module Config = Vpga_plb.Config
+module Packer = Vpga_plb.Packer
+module Full_adder = Vpga_plb.Full_adder
+module Placement = Vpga_place.Placement
+module Global_place = Vpga_place.Global
+module Anneal = Vpga_place.Anneal
+module Buffering = Vpga_place.Buffering
+module Quadrisect = Vpga_pack.Quadrisect
+module Refine = Vpga_pack.Refine
+module Grid = Vpga_route.Grid
+module Router = Vpga_route.Router
+module Pathfinder = Vpga_route.Pathfinder
+module Detail = Vpga_route.Detail
+module Sta = Vpga_timing.Sta
+module Power = Vpga_timing.Power
+module Wordgen = Vpga_designs.Wordgen
+module Alu = Vpga_designs.Alu
+module Fpu = Vpga_designs.Fpu
+module Netswitch = Vpga_designs.Netswitch
+module Firewire = Vpga_designs.Firewire
+module Flow = Vpga_flow.Flow
+module Experiments = Vpga_flow.Experiments
+module Report = Vpga_flow.Report
+module Export = Vpga_flow.Export
+
+(** {1 One-call entry points} *)
+
+val classify_functions : unit -> S3.census
+(** Exhaustive Section-2.1 classification of the 256 3-input functions. *)
+
+val run_flow :
+  ?seed:int -> ?period:float -> Arch.t -> Netlist.t -> Flow.pair
+(** Both flows (ASIC-style a, packed-array b) on one architecture. *)
+
+val compare_architectures :
+  ?seed:int -> ?period:float -> Netlist.t -> Flow.pair * Flow.pair
+(** [(lut, granular)] flow pairs for a design. *)

@@ -1,0 +1,1 @@
+lib/designs/alu.ml: Array Printf Vpga_netlist Wordgen

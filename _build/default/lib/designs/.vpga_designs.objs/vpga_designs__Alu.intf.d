@@ -1,0 +1,1 @@
+lib/designs/alu.mli: Vpga_netlist

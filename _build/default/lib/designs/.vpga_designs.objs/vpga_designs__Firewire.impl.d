@@ -1,0 +1,1 @@
+lib/designs/firewire.ml: Array Vpga_netlist Wordgen

@@ -1,0 +1,1 @@
+lib/designs/firewire.mli: Vpga_netlist

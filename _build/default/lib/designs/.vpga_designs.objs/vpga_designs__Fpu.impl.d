@@ -1,0 +1,1 @@
+lib/designs/fpu.ml: Array Printf Vpga_netlist Wordgen

@@ -1,0 +1,1 @@
+lib/designs/fpu.mli: Vpga_netlist

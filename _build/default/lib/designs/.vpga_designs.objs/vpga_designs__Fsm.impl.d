@@ -1,0 +1,1 @@
+lib/designs/fsm.ml: Array List Vpga_netlist Wordgen

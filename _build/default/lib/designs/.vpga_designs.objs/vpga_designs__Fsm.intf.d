@@ -1,0 +1,1 @@
+lib/designs/fsm.mli: Vpga_netlist Wordgen

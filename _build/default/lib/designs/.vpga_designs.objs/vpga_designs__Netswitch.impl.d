@@ -1,0 +1,1 @@
+lib/designs/netswitch.ml: Array Printf Vpga_netlist Wordgen

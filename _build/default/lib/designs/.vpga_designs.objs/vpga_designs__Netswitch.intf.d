@@ -1,0 +1,1 @@
+lib/designs/netswitch.mli: Vpga_netlist

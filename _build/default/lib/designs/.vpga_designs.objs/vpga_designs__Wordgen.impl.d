@@ -1,0 +1,1 @@
+lib/designs/wordgen.ml: Array List Printf Vpga_netlist

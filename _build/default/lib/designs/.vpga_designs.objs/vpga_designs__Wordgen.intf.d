@@ -1,0 +1,1 @@
+lib/designs/wordgen.mli: Vpga_netlist

@@ -1,0 +1,53 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+let build ?(width = 32) () =
+  let nl = Netlist.create ~name:(Printf.sprintf "alu%d" width) () in
+  let op_in = Wordgen.input_bus nl "op" 3 in
+  let a_in = Wordgen.input_bus nl "a" width in
+  let b_in = Wordgen.input_bus nl "b" width in
+  (* registered inputs *)
+  let op = Wordgen.register_bus nl op_in in
+  let a = Wordgen.register_bus nl a_in in
+  let b = Wordgen.register_bus nl b_in in
+  let sum, carry = Wordgen.carry_select_adder nl a b in
+  let diff, borrow = Wordgen.subtractor nl a b in
+  let land_ = Wordgen.and_bus nl a b in
+  let lor_ = Wordgen.or_bus nl a b in
+  let lxor_ = Wordgen.xor_bus nl a b in
+  let amount = Array.sub b 0 (Wordgen.log2_up width) in
+  let shl = Wordgen.shift_left nl a ~amount in
+  let shr = Wordgen.shift_right nl a ~amount in
+  let slt =
+    let r = Wordgen.constant nl ~width 0 in
+    let r = Array.copy r in
+    r.(0) <- borrow;
+    r
+  in
+  let result =
+    Wordgen.mux_tree nl ~sel:op [ sum; diff; land_; lor_; lxor_; shl; shr; slt ]
+  in
+  let result_q = Wordgen.register_bus nl result in
+  Wordgen.output_bus nl "result" result_q;
+  let zero =
+    Netlist.gate nl Kind.Inv [| Wordgen.reduce_or nl result_q |]
+  in
+  ignore (Netlist.output nl "zero" zero);
+  let carry_q = Wordgen.register_bus nl [| carry |] in
+  ignore (Netlist.output nl "carry" carry_q.(0));
+  nl
+
+let reference ~width ~op ~a ~b =
+  let mask = (1 lsl width) - 1 in
+  let a = a land mask and b = b land mask in
+  let shamt = b land ((1 lsl Wordgen.log2_up width) - 1) in
+  (match op land 7 with
+  | 0 -> a + b
+  | 1 -> a - b
+  | 2 -> a land b
+  | 3 -> a lor b
+  | 4 -> a lxor b
+  | 5 -> a lsl shamt
+  | 6 -> a lsr shamt
+  | _ -> if a < b then 1 else 0)
+  land mask

@@ -1,0 +1,14 @@
+(** The "ALU" benchmark: a registered W-bit arithmetic/logic unit —
+    datapath-dominated, adder- and mux-heavy (the workload class where the
+    paper's granular PLB wins).
+
+    Operations (op[2:0]): 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 shift left,
+    6 shift right, 7 set-less-than (unsigned).  Inputs and the result are
+    registered; flags (zero, carry) are combinational outputs of the result
+    register. *)
+
+val build : ?width:int -> unit -> Vpga_netlist.Netlist.t
+(** Default width 32. *)
+
+val reference : width:int -> op:int -> a:int -> b:int -> int
+(** Software model of the combinational core (result only). *)

@@ -1,0 +1,141 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+let crc_poly = 0x1021
+
+(* States *)
+let s_idle = 0
+let s_header = 1
+let s_data = 2
+let s_crc = 3
+let s_ack = 4
+
+let build ?(data_bits = 32) () =
+  let nl = Netlist.create ~name:"firewire" () in
+  let rx = Netlist.input nl "rx" in
+  let cfg_we = Netlist.input nl "cfg_we" in
+  let cfg_data = Wordgen.input_bus nl "cfg_data" 8 in
+  (* State and counters as raw flops (feedback). *)
+  let flops w = Array.init w (fun _ -> Netlist.dff nl) in
+  let st = flops 3 in
+  let bitcnt = flops 6 in
+  let hdr = flops 16 in
+  let dreg = flops 16 in
+  let crc = flops 16 in
+  let rxcrc = flops 16 in
+  let crc_ok = Netlist.dff nl in
+  let frames = flops 8 in
+  let errs = flops 8 in
+  let wd = flops 8 in
+  let node_id = flops 8 in
+  let last_hdr = flops 16 in
+  let zero = Netlist.gate nl (Kind.Const false) [||] in
+  let in_state s = Wordgen.equal_const nl st s in
+  let is_idle = in_state s_idle in
+  let is_header = in_state s_header in
+  let is_data = in_state s_data in
+  let is_crc = in_state s_crc in
+  let is_ack = in_state s_ack in
+  let and2 a b = Netlist.gate nl Kind.And2 [| a; b |] in
+  let or2 a b = Netlist.gate nl Kind.Or2 [| a; b |] in
+  let cnt_is v = Wordgen.equal_const nl bitcnt v in
+  let start = and2 is_idle rx in
+  let hdr_done = and2 is_header (cnt_is 15) in
+  let data_done = and2 is_data (cnt_is (data_bits - 1)) in
+  let crc_done = and2 is_crc (cnt_is 15) in
+  let ack_done = and2 is_ack (cnt_is 7) in
+  let timeout =
+    and2 (Netlist.gate nl Kind.Inv [| is_idle |]) (Wordgen.equal_const nl wd 255)
+  in
+  (* Next state: priority mux chain. *)
+  let const3 v = Wordgen.constant nl ~width:3 v in
+  let next_st =
+    let n = st in
+    let n = Wordgen.mux_bus nl ~sel:start n (const3 s_header) in
+    let n = Wordgen.mux_bus nl ~sel:hdr_done n (const3 s_data) in
+    let n = Wordgen.mux_bus nl ~sel:data_done n (const3 s_crc) in
+    let n = Wordgen.mux_bus nl ~sel:crc_done n (const3 s_ack) in
+    let n = Wordgen.mux_bus nl ~sel:ack_done n (const3 s_idle) in
+    Wordgen.mux_bus nl ~sel:timeout n (const3 s_idle)
+  in
+  Array.iteri (fun i q -> Netlist.connect nl ~flop:q ~d:next_st.(i)) st;
+  (* Bit counter. *)
+  let phase_change =
+    or2 start (or2 hdr_done (or2 data_done (or2 crc_done ack_done)))
+  in
+  let next_cnt =
+    let inc = Wordgen.incrementer nl bitcnt in
+    let n = Wordgen.mux_bus nl ~sel:is_idle inc (Wordgen.constant nl ~width:6 0) in
+    Wordgen.mux_bus nl ~sel:phase_change n (Wordgen.constant nl ~width:6 0)
+  in
+  Array.iteri (fun i q -> Netlist.connect nl ~flop:q ~d:next_cnt.(i)) bitcnt;
+  (* Shift registers. *)
+  let shift_en reg en =
+    let shifted =
+      Array.init (Array.length reg) (fun i -> if i = 0 then rx else reg.(i - 1))
+    in
+    Array.iteri
+      (fun i q ->
+        let d = Netlist.gate nl Kind.Mux2 [| en; q; shifted.(i) |] in
+        Netlist.connect nl ~flop:q ~d)
+      reg
+  in
+  shift_en hdr is_header;
+  shift_en dreg is_data;
+  shift_en rxcrc is_crc;
+  (* CRC over header + data bits; cleared on frame start. *)
+  let crc_next = Wordgen.crc_step nl ~poly:crc_poly ~state:crc ~din:rx in
+  let crc_en = or2 is_header is_data in
+  Array.iteri
+    (fun i q ->
+      let kept = Netlist.gate nl Kind.Mux2 [| crc_en; q; crc_next.(i) |] in
+      let d = Netlist.gate nl Kind.Mux2 [| start; kept; zero |] in
+      Netlist.connect nl ~flop:q ~d)
+    crc;
+  (* CRC check at the last CRC-phase cycle: the 16th bit is still on rx, so
+     compare against the shifted-in view of the receive register. *)
+  let rxcrc_now =
+    Array.init 16 (fun i -> if i = 0 then rx else rxcrc.(i - 1))
+  in
+  let ok_now = Wordgen.equal_bus nl crc rxcrc_now in
+  Netlist.connect nl ~flop:crc_ok
+    ~d:(Netlist.gate nl Kind.Mux2 [| crc_done; crc_ok; ok_now |]);
+  (* Statistics and watchdog. *)
+  let bump reg en =
+    let inc = Wordgen.incrementer nl reg in
+    Array.iteri
+      (fun i q ->
+        Netlist.connect nl ~flop:q
+          ~d:(Netlist.gate nl Kind.Mux2 [| en; q; inc.(i) |]))
+      reg
+  in
+  bump frames ack_done;
+  bump errs (and2 crc_done (Netlist.gate nl Kind.Inv [| ok_now |]));
+  let wd_inc = Wordgen.incrementer nl wd in
+  Array.iteri
+    (fun i q ->
+      Netlist.connect nl ~flop:q
+        ~d:(Netlist.gate nl Kind.Mux2 [| is_idle; wd_inc.(i); zero |]))
+    wd;
+  (* Config register and header snapshot. *)
+  Array.iteri
+    (fun i q ->
+      Netlist.connect nl ~flop:q
+        ~d:(Netlist.gate nl Kind.Mux2 [| cfg_we; q; cfg_data.(i) |]))
+    node_id;
+  Array.iteri
+    (fun i q ->
+      Netlist.connect nl ~flop:q
+        ~d:(Netlist.gate nl Kind.Mux2 [| hdr_done; q; hdr.(i) |]))
+    last_hdr;
+  (* Outputs. *)
+  let tx = and2 is_ack crc_ok in
+  ignore (Netlist.output nl "tx" tx);
+  Wordgen.output_bus nl "state" st;
+  Wordgen.output_bus nl "frames" frames;
+  Wordgen.output_bus nl "errs" errs;
+  Wordgen.output_bus nl "last_hdr" last_hdr;
+  Wordgen.output_bus nl "data_tail" dreg;
+  Wordgen.output_bus nl "node_id" node_id;
+  ignore (Netlist.output nl "crc_ok" crc_ok);
+  nl

@@ -1,0 +1,17 @@
+(** The "Firewire" benchmark: a small serial-link controller dominated by
+    sequential/control logic — an FSM, shift registers, a CRC-16, timers and
+    configuration/status registers.  Its flop-to-combinational ratio is the
+    highest of the four designs, which is what drives the paper's observed
+    area reversal on the granular PLB ("the design is dominated by
+    sequential rather than combinational logic").
+
+    Frame protocol (bit-serial input [rx], frame start = rx high while
+    IDLE): 16 header bits, then 32 data bits, then 16 CRC bits; the
+    controller checks the running CRC-16/CCITT against the received CRC
+    and acknowledges on [tx] for 8 cycles. *)
+
+val build : ?data_bits:int -> unit -> Vpga_netlist.Netlist.t
+(** [data_bits] (default 32) is the data-phase length. *)
+
+val crc_poly : int
+(** 0x1021 (CRC-16/CCITT), shared with the tests' software CRC. *)

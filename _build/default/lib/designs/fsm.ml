@@ -1,0 +1,51 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+type transition = { from : int; cond : int; next : int }
+
+type t = {
+  nl : Netlist.t;
+  states : int;
+  bus : Wordgen.bus;
+  mutable transitions : transition list; (* reversed registration order *)
+  mutable finalized : bool;
+}
+
+let create nl ~states =
+  if states < 2 then invalid_arg "Fsm.create: need at least 2 states";
+  let width = Wordgen.log2_up states in
+  let bus = Array.init width (fun _ -> Netlist.dff nl) in
+  { nl; states; bus; transitions = []; finalized = false }
+
+let state_bus t = t.bus
+
+let state_is t s =
+  if s < 0 || s >= t.states then invalid_arg "Fsm.state_is: state out of range";
+  Wordgen.equal_const t.nl t.bus s
+
+let on t ~from ~cond ~next =
+  if t.finalized then invalid_arg "Fsm.on: already finalized";
+  if from < 0 || from >= t.states || next < 0 || next >= t.states then
+    invalid_arg "Fsm.on: state out of range";
+  t.transitions <- { from; cond; next } :: t.transitions
+
+let always t ~from ~next =
+  let one = Netlist.gate t.nl (Kind.Const true) [||] in
+  on t ~from ~cond:one ~next
+
+(* Priority encoding: fold transitions from lowest to highest priority so
+   the earliest registration is applied last (wins). *)
+let finalize t =
+  if t.finalized then invalid_arg "Fsm.finalize: already finalized";
+  t.finalized <- true;
+  let width = Array.length t.bus in
+  let next =
+    List.fold_left
+      (fun acc tr ->
+        let here = state_is t tr.from in
+        let take = Netlist.gate t.nl Kind.And2 [| here; tr.cond |] in
+        Wordgen.mux_bus t.nl ~sel:take acc
+          (Wordgen.constant t.nl ~width tr.next))
+      (Array.copy t.bus) t.transitions
+  in
+  Array.iteri (fun i q -> Netlist.connect t.nl ~flop:q ~d:next.(i)) t.bus

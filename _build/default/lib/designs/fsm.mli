@@ -1,0 +1,42 @@
+(** Declarative finite-state-machine compiler for control-dominated designs.
+
+    States are small integers held in a binary-encoded register rank
+    (reset state = 0, matching the flops' reset value).  Transitions are
+    prioritized in registration order — the first matching [on] edge wins;
+    with no match the machine holds its state.
+
+    {[
+      let fsm = Fsm.create nl ~states:3 in
+      Fsm.on fsm ~from:0 ~cond:start ~next:1;
+      Fsm.on fsm ~from:1 ~cond:done_ ~next:2;
+      Fsm.on fsm ~from:2 ~cond:ack ~next:0;
+      Fsm.finalize fsm;
+      let busy = Fsm.state_is fsm 1 in ...
+    ]} *)
+
+module Netlist := Vpga_netlist.Netlist
+
+type t
+
+val create : Netlist.t -> states:int -> t
+(** Allocates the (log2 states)-bit state register; reset state is 0.
+    @raise Invalid_argument for fewer than 2 states. *)
+
+val state_bus : t -> Wordgen.bus
+(** The registered state bits (LSB first). *)
+
+val state_is : t -> int -> int
+(** Combinational "in state s" signal. *)
+
+val on : t -> from:int -> cond:int -> next:int -> unit
+(** Register a transition taken when the machine is in [from] and [cond]
+    holds.  Earlier registrations take priority.
+    @raise Invalid_argument after {!finalize} or for out-of-range states. *)
+
+val always : t -> from:int -> next:int -> unit
+(** Unconditional transition out of [from] (lowest priority for that
+    state). *)
+
+val finalize : t -> unit
+(** Builds the next-state logic and connects the state register.  Must be
+    called exactly once. *)

@@ -1,0 +1,88 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+type packet = { valid : bool; dest : int; data : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let build ?(ports = 4) ?(width = 32) () =
+  if not (is_pow2 ports) then invalid_arg "Netswitch.build: ports not a power of 2";
+  let lg = Wordgen.log2_up ports in
+  let nl =
+    Netlist.create ~name:(Printf.sprintf "netswitch_%dx%d_w%d" ports ports width) ()
+  in
+  let one = Netlist.gate nl (Kind.Const true) [||] in
+  (* Registered input stage. *)
+  let in_port i =
+    let v = Wordgen.input_bus nl (Printf.sprintf "in%d_valid" i) 1 in
+    let dest = Wordgen.input_bus nl (Printf.sprintf "in%d_dest" i) lg in
+    let data = Wordgen.input_bus nl (Printf.sprintf "in%d_data" i) width in
+    ( (Wordgen.register_bus nl v).(0),
+      Wordgen.register_bus nl dest,
+      Wordgen.register_bus nl data )
+  in
+  let inputs = Array.init ports in_port in
+  (* Shared rotation pointer: free-running counter. *)
+  let ptr = Wordgen.counter nl ~width:lg ~enable:one in
+  (* Per output port: request vector, rotating-priority grant, crossbar. *)
+  for o = 0 to ports - 1 do
+    let req =
+      Array.map
+        (fun (v, dest, _) ->
+          Netlist.gate nl Kind.And2 [| v; Wordgen.equal_const nl dest o |])
+        inputs
+    in
+    (* rot.(j) = req.((j + ptr) mod ports): barrel rotate by ptr. *)
+    let rotate vec amount_bits =
+      let n = Array.length vec in
+      let stage bus k sel =
+        Array.init n (fun j ->
+            Netlist.gate nl Kind.Mux2 [| sel; bus.(j); bus.((j + k) mod n) |])
+      in
+      let bus = ref vec in
+      Array.iteri (fun lvl sel -> bus := stage !bus (1 lsl lvl) sel) amount_bits;
+      !bus
+    in
+    let rot = rotate req ptr in
+    (* Priority encode the rotated vector: first set bit. *)
+    let any = Wordgen.reduce_or nl rot in
+    let idx = Array.make lg (Netlist.gate nl (Kind.Const false) [||]) in
+    let idx =
+      (* idx = index of first set bit: scan from 0. *)
+      let taken = ref rot.(0) in
+      let cur = ref (Wordgen.constant nl ~width:lg 0) in
+      for j = 1 to ports - 1 do
+        let jconst = Wordgen.constant nl ~width:lg j in
+        let pick =
+          Netlist.gate nl Kind.And2
+            [| rot.(j); Netlist.gate nl Kind.Inv [| !taken |] |]
+        in
+        cur := Wordgen.mux_bus nl ~sel:pick !cur jconst;
+        taken := Netlist.gate nl Kind.Or2 [| !taken; rot.(j) |]
+      done;
+      ignore idx;
+      !cur
+    in
+    (* grant index = (idx + ptr) mod ports *)
+    let gidx, _ = Wordgen.ripple_adder nl idx ptr in
+    let datas = Array.to_list (Array.map (fun (_, _, d) -> d) inputs) in
+    let data = Wordgen.mux_tree nl ~sel:gidx datas in
+    let vq = Wordgen.register_bus nl [| any |] in
+    let dq = Wordgen.register_bus nl data in
+    ignore (Netlist.output nl (Printf.sprintf "out%d_valid" o) vq.(0));
+    Wordgen.output_bus nl (Printf.sprintf "out%d_data" o) dq
+  done;
+  nl
+
+let reference_step ~ports ~width ~ptr packets =
+  let mask = (1 lsl width) - 1 in
+  Array.init ports (fun o ->
+      let rec scan j =
+        if j >= ports then (false, 0)
+        else
+          let i = (j + ptr) mod ports in
+          let p = packets.(i) in
+          if p.valid && p.dest land (ports - 1) = o then (true, p.data land mask)
+          else scan (j + 1)
+      in
+      scan 0)

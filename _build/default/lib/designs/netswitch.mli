@@ -1,0 +1,22 @@
+(** The "Network switch" benchmark: an N x N crossbar with per-output
+    rotating-priority arbitration — registered input/output stages and a
+    mux-dominated datapath (the paper's largest design).
+
+    Cycle behaviour (both {!build} and {!reference}): inputs (valid, dest,
+    data) are registered; each output port grants the requesting input
+    closest after a free-running rotation pointer and registers (valid,
+    data); all ports share the same pointer, which increments every cycle
+    starting from 0. *)
+
+val build : ?ports:int -> ?width:int -> unit -> Vpga_netlist.Netlist.t
+(** [ports] must be a power of two (default 4); [width] default 32. *)
+
+type packet = { valid : bool; dest : int; data : int }
+
+val reference_step :
+  ports:int -> width:int -> ptr:int -> packet array -> (bool * int) array
+(** Software model of the combinational core: given the registered input
+    packets and the rotation pointer, the (valid, data) pair latched into
+    each output register.  Tests drive the pipeline alignment themselves
+    (inputs register at cycle t+1, outputs appear at t+2; the pointer is the
+    cycle index). *)

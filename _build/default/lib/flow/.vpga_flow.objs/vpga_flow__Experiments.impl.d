@@ -1,0 +1,1 @@
+lib/flow/experiments.ml: Alu Firewire Float Flow Fpu List Netswitch Vpga_designs Vpga_logic Vpga_mapper Vpga_pack Vpga_place Vpga_plb Vpga_route Vpga_timing

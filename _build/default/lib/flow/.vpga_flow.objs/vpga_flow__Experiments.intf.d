@@ -1,0 +1,1 @@
+lib/flow/experiments.mli: Flow Vpga_logic Vpga_netlist Vpga_plb

@@ -1,0 +1,1 @@
+lib/flow/export.ml: Array Buffer List Printf String Vpga_logic Vpga_netlist Vpga_pack Vpga_place Vpga_plb

@@ -1,0 +1,1 @@
+lib/flow/export.mli: Vpga_netlist Vpga_pack Vpga_place

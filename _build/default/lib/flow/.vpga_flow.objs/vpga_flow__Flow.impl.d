@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Printf Vpga_mapper Vpga_netlist Vpga_pack Vpga_place Vpga_plb Vpga_route Vpga_timing

@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Vpga_netlist Vpga_plb

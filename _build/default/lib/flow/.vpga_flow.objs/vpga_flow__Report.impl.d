@@ -1,0 +1,1 @@
+lib/flow/report.ml: Experiments Flow Format List String Vpga_logic Vpga_plb

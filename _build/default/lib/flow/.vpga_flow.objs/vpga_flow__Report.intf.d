@@ -1,0 +1,1 @@
+lib/flow/report.mli: Experiments Format

@@ -1,0 +1,211 @@
+module Arch = Vpga_plb.Arch
+module Config = Vpga_plb.Config
+module Packer = Vpga_plb.Packer
+module Full_adder = Vpga_plb.Full_adder
+module S3 = Vpga_logic.S3
+module Techmap = Vpga_mapper.Techmap
+module Compact = Vpga_mapper.Compact
+open Vpga_designs
+
+type scale = Test | Paper
+
+let designs scale =
+  match scale with
+  | Test ->
+      [
+        ("ALU", Alu.build ~width:8 ());
+        ("Firewire", Firewire.build ~data_bits:16 ());
+        ("FPU", Fpu.build ~exp_bits:5 ~mant_bits:8 ());
+        ("Network switch", Netswitch.build ~ports:4 ~width:8 ());
+      ]
+  | Paper ->
+      [
+        ("ALU", Alu.build ~width:32 ());
+        ("Firewire", Firewire.build ~data_bits:32 ());
+        ("FPU", Fpu.build ~exp_bits:8 ~mant_bits:24 ());
+        ("Network switch", Netswitch.build ~ports:8 ~width:48 ());
+      ]
+
+type row = { name : string; lut : Flow.pair; granular : Flow.pair }
+
+let run_all ?(seed = 1) scale =
+  List.map
+    (fun (name, nl) ->
+      {
+        name;
+        lut = Flow.run ~seed Arch.lut_plb nl;
+        granular = Flow.run ~seed Arch.granular_plb nl;
+      })
+    (designs scale)
+
+type headline = {
+  datapath_area_reduction : float;
+  fpu_area_reduction : float;
+  packing_overhead_reduction : float;
+  firewire_reversal : bool;
+  slack_improvement : float;
+  degradation_reduction : float;
+  displacement_reduction : float;
+}
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let is_datapath r = r.name <> "Firewire"
+
+let headlines rows =
+  let datapath = List.filter is_datapath rows in
+  let area_saving r =
+    1.0 -. (r.granular.Flow.b.Flow.die_area /. r.lut.Flow.b.Flow.die_area)
+  in
+  (* Overhead of packing into the regular array, um^2 of die given up going
+     from flow a to flow b. *)
+  let overhead pair = pair.Flow.b.Flow.die_area -. pair.Flow.a.Flow.die_area in
+  let overhead_saving r =
+    let lut_ov = overhead r.lut and g_ov = overhead r.granular in
+    if lut_ov <= 0.0 then 0.0 else 1.0 -. (g_ov /. lut_ov)
+  in
+  let slack_gain r =
+    let l = r.lut.Flow.b.Flow.avg_top10_slack in
+    let g = r.granular.Flow.b.Flow.avg_top10_slack in
+    if l = 0.0 then 0.0 else (g -. l) /. Float.abs l
+  in
+  let degradation pair =
+    pair.Flow.a.Flow.avg_top10_slack -. pair.Flow.b.Flow.avg_top10_slack
+  in
+  let degradation_saving r =
+    let l = degradation r.lut and g = degradation r.granular in
+    if l <= 0.0 then 0.0 else 1.0 -. (g /. l)
+  in
+  let fpu = List.find_opt (fun r -> r.name = "FPU") rows in
+  let firewire = List.find_opt (fun r -> r.name = "Firewire") rows in
+  {
+    datapath_area_reduction = mean (List.map area_saving datapath);
+    fpu_area_reduction =
+      (match fpu with Some r -> area_saving r | None -> 0.0);
+    packing_overhead_reduction = mean (List.map overhead_saving datapath);
+    firewire_reversal =
+      (match firewire with
+      | Some r ->
+          r.granular.Flow.b.Flow.die_area > r.lut.Flow.b.Flow.die_area
+      | None -> false);
+    slack_improvement = mean (List.map slack_gain datapath);
+    degradation_reduction = mean (List.map degradation_saving datapath);
+    displacement_reduction =
+      (let saving r =
+         let l = r.lut.Flow.b.Flow.displacement in
+         if l <= 0.0 then 0.0
+         else 1.0 -. (r.granular.Flow.b.Flow.displacement /. l)
+       in
+       mean (List.map saving datapath));
+  }
+
+let s3_census () = S3.census ()
+
+let full_adder_tiles () =
+  List.map (fun arch -> (arch.Arch.name, Full_adder.tiles_needed arch)) Arch.all
+
+let config_delays () =
+  let load = 10.0 in
+  List.map
+    (fun c -> (c, Config.delay c ~load, Config.cell_area c))
+    Config.all
+
+let compaction_table scale =
+  List.concat_map
+    (fun (name, nl) ->
+      List.map
+        (fun arch ->
+          let before = Techmap.cell_area (Techmap.map arch nl) in
+          let after = Techmap.cell_area (Compact.run arch nl) in
+          (name, arch.Arch.name, before, after, 1.0 -. (after /. before)))
+        Arch.all)
+    (designs scale)
+
+let config_distribution rows =
+  List.map
+    (fun r -> (r.name, r.granular.Flow.b.Flow.config_histogram))
+    rows
+
+let firewire_remedy ?(seed = 1) scale =
+  let nl =
+    match List.assoc_opt "Firewire" (designs scale) with
+    | Some nl -> nl
+    | None -> assert false
+  in
+  List.map
+    (fun arch ->
+      let p = Flow.run ~seed arch nl in
+      (arch.Arch.name, p.Flow.b.Flow.die_area, p.Flow.b.Flow.avg_top10_slack))
+    [ Arch.lut_plb; Arch.granular_plb; Arch.granular_2ff ]
+
+let ablation ?(seed = 1) scale =
+  let nl =
+    match List.assoc_opt "ALU" (designs scale) with
+    | Some nl -> nl
+    | None -> assert false
+  in
+  let arch = Arch.granular_plb in
+  let run ~refine ~use_criticality =
+    (Flow.run ~seed ~refine ~use_criticality arch nl).Flow.b
+  in
+  [
+    ("full flow", run ~refine:true ~use_criticality:true);
+    ("no packing refinement", run ~refine:false ~use_criticality:true);
+    ("no criticality weighting", run ~refine:true ~use_criticality:false);
+    ("neither", run ~refine:false ~use_criticality:false);
+  ]
+
+(* E13: configuration-via accounting — the VPGA's customization cost. *)
+let via_table ?(seed = 1) scale =
+  ignore seed;
+  List.concat_map
+    (fun (name, nl) ->
+      List.map
+        (fun arch ->
+          let compacted = Compact.run arch nl in
+          let used =
+            List.fold_left
+              (fun acc (c, n) -> acc + (n * Config.via_count c))
+              0
+              (Compact.config_histogram compacted)
+          in
+          (name, arch.Arch.name, used))
+        Arch.all)
+    (designs scale)
+
+(* E14: the paper's closing future-work item — regular vs custom routing
+   for the VPGA fabric.  Same packed design and routed topology, two
+   extraction models: ASIC-style custom metal vs switched regular tracks. *)
+let routing_styles ?(seed = 1) scale =
+  let module Placement = Vpga_place.Placement in
+  let module Global = Vpga_place.Global in
+  let module Buffering = Vpga_place.Buffering in
+  let module Quadrisect = Vpga_pack.Quadrisect in
+  let module Pathfinder = Vpga_route.Pathfinder in
+  let module Sta = Vpga_timing.Sta in
+  let arch = Arch.granular_plb in
+  List.map
+    (fun (name, nl) ->
+      let buffered = Buffering.insert ~max_fanout:8 (Compact.run arch nl) in
+      let pl = Placement.create buffered in
+      Global.place ~seed pl;
+      let q = Quadrisect.legalize arch pl in
+      let side = sqrt arch.Arch.tile_area in
+      let pl_b =
+        {
+          pl with
+          Placement.die_w = float_of_int q.Quadrisect.cols *. side;
+          die_h = float_of_int q.Quadrisect.rows *. side;
+        }
+      in
+      Quadrisect.snap q pl_b;
+      let routed = Pathfinder.route_placement pl_b in
+      let slack wire =
+        Sta.average_top_slack (Sta.run ~wire buffered) 10
+      in
+      ( name,
+        slack (Pathfinder.wire_loads routed),
+        slack (Pathfinder.wire_loads_regular routed) ))
+    (designs scale)

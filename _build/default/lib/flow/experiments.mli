@@ -1,0 +1,83 @@
+(** The paper's evaluation, experiment by experiment (see DESIGN.md's
+    per-experiment index).  Everything returns plain data; {!Report} formats
+    the tables. *)
+
+module Config := Vpga_plb.Config
+
+type scale = Test | Paper
+(** [Test] builds small design instances (seconds); [Paper] builds
+    paper-comparable ones (the bench default). *)
+
+val designs : scale -> (string * Vpga_netlist.Netlist.t) list
+(** ALU, Firewire, FPU, Network switch — the paper's four benchmarks. *)
+
+type row = { name : string; lut : Flow.pair; granular : Flow.pair }
+
+val run_all : ?seed:int -> scale -> row list
+(** Both architectures through both flows on every design (Table 1 and
+    Table 2 in one pass). *)
+
+(** Derived Section-3.2 claims, computed from the rows. *)
+type headline = {
+  datapath_area_reduction : float;
+      (** mean flow-b die-area saving of granular vs LUT over the three
+          datapath designs (paper: ~32 %) *)
+  fpu_area_reduction : float;  (** paper: up to 40 % *)
+  packing_overhead_reduction : float;
+      (** mean reduction of the flow-a -> flow-b area overhead (paper:
+          ~48 %) *)
+  firewire_reversal : bool;
+      (** granular flow-b die area exceeds LUT's on the flop-dominated
+          design (paper: yes) *)
+  slack_improvement : float;
+      (** mean top-10 slack gain of granular over LUT, flow b (paper:
+          ~18 %) *)
+  degradation_reduction : float;
+      (** mean reduction of flow-a -> flow-b slack degradation (paper:
+          ~68 %; inverts on our substrate — see EXPERIMENTS.md) *)
+  displacement_reduction : float;
+      (** mean change of per-item legalization displacement (tile units),
+          granular vs LUT.  Reported as data: on this substrate both
+          architectures land near one tile of perturbation. *)
+}
+
+val headlines : row list -> headline
+
+val s3_census : unit -> Vpga_logic.S3.census
+(** E1/E2. *)
+
+val full_adder_tiles : unit -> (string * int) list
+(** E3: tiles needed per architecture. *)
+
+val config_delays : unit -> (Config.t * float * float) list
+(** E4: (configuration, delay at FO4-ish load, cell area). *)
+
+val compaction_table : scale -> (string * string * float * float * float) list
+(** E5: (design, arch, techmap area, compacted area, gain). *)
+
+val config_distribution :
+  row list -> (string * (Config.t * int) list) list
+(** E9: per-design granular-PLB configuration histograms. *)
+
+val firewire_remedy : ?seed:int -> scale -> (string * float * float) list
+(** E10 (the paper's future-work claim, Section 3.2: the Firewire overhead
+    "can be avoided by using a PLB with a greater ratio of Flip Flops to
+    combinational logic elements"): flow-b die area and top-10 slack of the
+    Firewire design on the LUT PLB, the granular PLB, and the 2-flop
+    granular variant. *)
+
+val ablation : ?seed:int -> scale -> (string * Flow.outcome) list
+(** E11: flow-b outcomes for the granular ALU with the packing-refinement
+    loop and the criticality weighting individually disabled (the design
+    choices DESIGN.md calls out). *)
+
+val via_table : ?seed:int -> scale -> (string * string * int) list
+(** E13: programmed configuration-via sites per design and architecture —
+    the VPGA's customization-cost unit ("the cost of higher granularity is
+    significantly lower for the VPGA fabric", Section 1). *)
+
+val routing_styles : ?seed:int -> scale -> (string * float * float) list
+(** E14 (the paper's closing future-work item, Section 4: "exploring regular
+    routing architectures for the VPGA fabric"): per design, the flow-b
+    top-10 slack (ps) under ASIC-style custom routing vs switched regular
+    routing, same topology (granular PLB). *)

@@ -1,0 +1,195 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Bfun = Vpga_logic.Bfun
+module Placement = Vpga_place.Placement
+module Quadrisect = Vpga_pack.Quadrisect
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* Sum-of-products Verilog expression for [fn] over named operands. *)
+let sop_expr fn operands =
+  let n = Bfun.arity fn in
+  if Bfun.is_const fn then (if Bfun.eval fn 0 then "1'b1" else "1'b0")
+  else begin
+    let minterms = ref [] in
+    for m = 0 to (1 lsl n) - 1 do
+      if Bfun.eval fn m then begin
+        let lits =
+          List.init n (fun i ->
+              if (m lsr i) land 1 = 1 then operands.(i)
+              else "~" ^ operands.(i))
+        in
+        minterms := ("(" ^ String.concat " & " lits ^ ")") :: !minterms
+      end
+    done;
+    String.concat " | " (List.rev !minterms)
+  end
+
+let verilog nl =
+  let buf = Buffer.create 4096 in
+  let name = sanitize (Netlist.design_name nl) in
+  let wire id = Printf.sprintf "n%d" id in
+  let inputs = Netlist.inputs nl and outputs = Netlist.outputs nl in
+  let port_name node fallback =
+    match node.Netlist.name with Some s -> sanitize s | None -> fallback
+  in
+  let ports =
+    "clk"
+    :: List.map (fun i -> port_name (Netlist.node nl i) (wire i)) inputs
+    @ List.map (fun o -> port_name (Netlist.node nl o) (wire o)) outputs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s);\n" name (String.concat ", " ports));
+  Buffer.add_string buf "  input clk;\n";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "  input %s;\n" (port_name (Netlist.node nl i) (wire i))))
+    inputs;
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  output %s;\n" (port_name (Netlist.node nl o) (wire o))))
+    outputs;
+  (* internal wires and flop registers *)
+  Array.iter
+    (fun node ->
+      match node.Netlist.kind with
+      | Kind.Input | Kind.Output -> ()
+      | Kind.Dff ->
+          Buffer.add_string buf
+            (Printf.sprintf "  reg %s = 1'b0;\n" (wire node.Netlist.id))
+      | _ ->
+          Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (wire node.Netlist.id)))
+    (Netlist.nodes nl);
+  (* input aliases *)
+  List.iter
+    (fun i ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wire %s = %s;\n" (wire i)
+           (port_name (Netlist.node nl i) (wire i))))
+    inputs;
+  (* combinational logic *)
+  Array.iter
+    (fun node ->
+      match node.Netlist.kind with
+      | Kind.Input | Kind.Output | Kind.Dff -> ()
+      | Kind.Const b ->
+          Buffer.add_string buf
+            (Printf.sprintf "  assign %s = 1'b%d;\n" (wire node.Netlist.id)
+               (if b then 1 else 0))
+      | k ->
+          let operands = Array.map wire node.Netlist.fanins in
+          Buffer.add_string buf
+            (Printf.sprintf "  assign %s = %s; // %s\n" (wire node.Netlist.id)
+               (sop_expr (Kind.fn k) operands)
+               (Kind.name k)))
+    (Netlist.nodes nl);
+  (* flops *)
+  if Netlist.flops nl <> [] then begin
+    Buffer.add_string buf "  always @(posedge clk) begin\n";
+    List.iter
+      (fun f ->
+        let d = (Netlist.node nl f).Netlist.fanins.(0) in
+        Buffer.add_string buf
+          (Printf.sprintf "    %s <= %s;\n" (wire f) (wire d)))
+      (Netlist.flops nl);
+    Buffer.add_string buf "  end\n"
+  end;
+  (* outputs *)
+  List.iter
+    (fun o ->
+      let node = Netlist.node nl o in
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n"
+           (port_name node (wire o))
+           (wire node.Netlist.fanins.(0))))
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let def_ ?packing pl =
+  let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "DESIGN %s ;\n" (Netlist.design_name nl));
+  Buffer.add_string buf
+    (Printf.sprintf "DIEAREA ( 0 0 ) ( %.1f %.1f ) ;\n" pl.Placement.die_w
+       pl.Placement.die_h);
+  (match packing with
+  | Some q ->
+      Buffer.add_string buf
+        (Printf.sprintf "PLBARRAY %d BY %d TILE %s ;\n" q.Quadrisect.cols
+           q.Quadrisect.rows q.Quadrisect.arch.Vpga_plb.Arch.name)
+  | None -> ());
+  let comps =
+    Array.to_list (Netlist.nodes nl)
+    |> List.filter (fun n ->
+           match n.Netlist.kind with
+           | Kind.Input | Kind.Output | Kind.Const _ -> false
+           | _ -> true)
+  in
+  Buffer.add_string buf (Printf.sprintf "COMPONENTS %d ;\n" (List.length comps));
+  List.iter
+    (fun node ->
+      let id = node.Netlist.id in
+      let tile =
+        match packing with
+        | Some q when q.Quadrisect.tile_of_node.(id) >= 0 ->
+            Printf.sprintf " TILE %d" q.Quadrisect.tile_of_node.(id)
+        | Some _ | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  - n%d %s PLACED ( %.1f %.1f )%s ;\n" id
+           (Kind.name node.Netlist.kind)
+           pl.Placement.x.(id) pl.Placement.y.(id) tile))
+    comps;
+  Buffer.add_string buf "END DESIGN\n";
+  Buffer.contents buf
+
+let svg q pl =
+  let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
+  let cols = q.Quadrisect.cols and rows = q.Quadrisect.rows in
+  let occupancy = Array.make (cols * rows) 0 in
+  Array.iter
+    (fun t -> if t >= 0 then occupancy.(t) <- occupancy.(t) + 1)
+    q.Quadrisect.tile_of_node;
+  let cell = 14 in
+  let w = (cols * cell) + 2 and h = (rows * cell) + 2 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n"
+       w h w h);
+  Buffer.add_string buf
+    (Printf.sprintf "<title>%s on %s (%dx%d PLB array)</title>\n"
+       (Netlist.design_name nl) q.Quadrisect.arch.Vpga_plb.Arch.name cols rows);
+  let max_occ = Array.fold_left max 1 occupancy in
+  Array.iteri
+    (fun t occ ->
+      let c = t mod cols and r = t / cols in
+      let shade = 255 - (occ * 200 / max_occ) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+            fill=\"rgb(%d,%d,255)\" stroke=\"#999\" stroke-width=\"0.5\"><title>tile %d: %d items</title></rect>\n"
+           (1 + (c * cell))
+           (1 + (r * cell))
+           cell cell shade shade t occ))
+    occupancy;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  (try output_string oc contents
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

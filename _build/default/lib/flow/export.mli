@@ -1,0 +1,23 @@
+(** Layout and netlist writers — the flow's output artifacts (the paper's
+    flow "produces a GDSII description of the layout in the form of a
+    regular array of PLBs"; these are the open equivalents).
+
+    - {!verilog}: structural Verilog of a (mapped or generic) netlist, with
+      every combinational node emitted as a sum-of-products [assign] and
+      flops as [always @(posedge clk)] processes — simulatable by any
+      Verilog tool.
+    - {!def_}: a DEF-flavoured text dump of the die, component placements
+      and (when packed) tile assignments.
+    - {!svg}: a rendering of the PLB array with per-tile occupancy. *)
+
+val verilog : Vpga_netlist.Netlist.t -> string
+
+val def_ :
+  ?packing:Vpga_pack.Quadrisect.t ->
+  Vpga_place.Placement.t ->
+  string
+
+val svg : Vpga_pack.Quadrisect.t -> Vpga_place.Placement.t -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

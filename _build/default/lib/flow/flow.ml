@@ -1,0 +1,160 @@
+module Netlist = Vpga_netlist.Netlist
+module Equiv = Vpga_netlist.Equiv
+module Stats = Vpga_netlist.Stats
+module Arch = Vpga_plb.Arch
+module Config = Vpga_plb.Config
+module Techmap = Vpga_mapper.Techmap
+module Compact = Vpga_mapper.Compact
+module Placement = Vpga_place.Placement
+module Global = Vpga_place.Global
+module Anneal = Vpga_place.Anneal
+module Buffering = Vpga_place.Buffering
+module Quadrisect = Vpga_pack.Quadrisect
+module Pathfinder = Vpga_route.Pathfinder
+module Detail = Vpga_route.Detail
+module Sta = Vpga_timing.Sta
+module Power = Vpga_timing.Power
+
+type kind = Flow_a | Flow_b
+
+type outcome = {
+  design : string;
+  arch : Arch.t;
+  kind : kind;
+  die_area : float;
+  cell_area : float;
+  gate_count : float;
+  avg_top10_slack : float;
+  wns : float;
+  wirelength : float;
+  array_dims : (int * int) option;
+  tiles_used : int;
+  compaction_gain : float;
+  config_histogram : (Config.t * int) list;
+  displacement : float;
+  displacement_tiles : float;
+  power_uw : float;  (* total power estimate, uW *)
+  routed_vias : int;  (* detailed-routing via count *)
+}
+
+type pair = { a : outcome; b : outcome }
+
+let check_equivalence reference candidate =
+  match Equiv.check ~vectors:24 ~sequence_length:6 ~seed:2024 reference candidate with
+  | Equiv.Equivalent -> ()
+  | Equiv.Mismatch { cycle; output; _ } ->
+      failwith
+        (Printf.sprintf "flow stage broke design %s (cycle %d, output %d)"
+           (Netlist.design_name reference) cycle output)
+
+let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
+    ?anneal_iterations ?(refine = true) ?(use_criticality = true) arch nl =
+  let design = Netlist.design_name nl in
+  let gate_count = Stats.gate_count nl in
+  (* Front-end: map, compact, buffer. *)
+  let mapped = Techmap.map arch nl in
+  let compacted = Compact.run arch nl in
+  check_equivalence nl compacted;
+  let compaction_gain =
+    let before = Techmap.cell_area mapped in
+    if before <= 0.0 then 0.0
+    else 1.0 -. (Techmap.cell_area compacted /. before)
+  in
+  let buffered = Buffering.insert ~max_fanout:8 compacted in
+  check_equivalence nl buffered;
+  let cell_area = Techmap.cell_area buffered in
+  let config_histogram = Compact.config_histogram buffered in
+  (* Placement (shared). *)
+  let pl = Placement.create ~utilization buffered in
+  Global.place ~seed pl;
+  (* Criticality from a pre-route timing estimate. *)
+  let pre_sta = Sta.run ~period buffered in
+  let crit =
+    if use_criticality then Sta.criticality pre_sta
+    else Array.make (Netlist.size buffered) 0.0
+  in
+  let iterations =
+    match anneal_iterations with
+    | Some i -> Some i
+    | None -> Some (min 400_000 (40 * Netlist.size buffered))
+  in
+  ignore (Anneal.refine ?iterations ~criticality:crit ~seed:(seed + 1) pl);
+  let activities = Power.activities ~seed:(seed + 7) buffered in
+  (* ---- Flow a: ASIC-style ---- *)
+  let routed_a = Pathfinder.route_placement pl in
+  let wire_a = Pathfinder.wire_loads routed_a in
+  let detail_vias routed =
+    (* track assignment needs an overflow-free global result *)
+    if routed.Pathfinder.final_overflow = 0 then
+      (Detail.run routed.Pathfinder.grid routed.Pathfinder.routes).Detail.total_vias
+    else -1
+  in
+  let vias_a = detail_vias routed_a in
+  let sta_a = Sta.run ~period ~wire:wire_a buffered in
+  let power_a = Power.estimate ~period ~wire:wire_a ~activities buffered in
+  let outcome_a =
+    {
+      design;
+      arch;
+      kind = Flow_a;
+      die_area = pl.Placement.die_w *. pl.Placement.die_h;
+      cell_area;
+      gate_count;
+      avg_top10_slack = Sta.average_top_slack sta_a 10;
+      wns = sta_a.Sta.wns;
+      wirelength = Pathfinder.total_wirelength routed_a;
+      array_dims = None;
+      tiles_used = 0;
+      compaction_gain;
+      config_histogram;
+      displacement = 0.0;
+      displacement_tiles = 0.0;
+      power_uw = power_a.Power.total_uw;
+      routed_vias = vias_a;
+    }
+  in
+  (* ---- Flow b: pack into the PLB array ---- *)
+  let q = Quadrisect.legalize ~criticality:crit arch pl in
+  let side = sqrt arch.Arch.tile_area in
+  let pl_b =
+    {
+      pl with
+      Placement.die_w = float_of_int q.Quadrisect.cols *. side;
+      die_h = float_of_int q.Quadrisect.rows *. side;
+    }
+  in
+  Quadrisect.snap q pl_b;
+  (* The paper's packing <-> physical-synthesis iteration: refine tile
+     assignments under the criticality-weighted wirelength cost. *)
+  if refine then
+    ignore
+      (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
+         ~iterations:(min 400_000 (60 * Netlist.size buffered))
+         q pl_b);
+  let routed_b = Pathfinder.route_placement pl_b in
+  let wire_b = Pathfinder.wire_loads routed_b in
+  let vias_b = detail_vias routed_b in
+  let sta_b = Sta.run ~period ~wire:wire_b buffered in
+  let power_b = Power.estimate ~period ~wire:wire_b ~activities buffered in
+  let outcome_b =
+    {
+      design;
+      arch;
+      kind = Flow_b;
+      die_area = Quadrisect.array_area q;
+      cell_area;
+      gate_count;
+      avg_top10_slack = Sta.average_top_slack sta_b 10;
+      wns = sta_b.Sta.wns;
+      wirelength = Pathfinder.total_wirelength routed_b;
+      array_dims = Some (q.Quadrisect.cols, q.Quadrisect.rows);
+      tiles_used = q.Quadrisect.tiles_used;
+      compaction_gain;
+      config_histogram;
+      displacement = q.Quadrisect.displacement;
+      displacement_tiles = q.Quadrisect.mean_displacement_tiles;
+      power_uw = power_b.Power.total_uw;
+      routed_vias = vias_b;
+    }
+  in
+  { a = outcome_a; b = outcome_b }

@@ -1,0 +1,61 @@
+(** The full Figure-6 design flow.
+
+    Shared front-end: characterize (library) -> synthesize/map (AIG +
+    technology mapping) -> regularity-driven compaction -> fanout buffering
+    -> global + annealed detailed placement (criticality-driven).
+
+    - {e Flow a} (the ASIC-style baseline): route and time the detailed
+      placement directly; die area is cell area at standard-cell row
+      utilization.
+    - {e Flow b} (the VPGA flow): legalize by recursive quadrisection into
+      the PLB array, snap to tiles, route over the array and time; die area
+      is the PLB-array area. *)
+
+type kind = Flow_a | Flow_b
+
+type outcome = {
+  design : string;
+  arch : Vpga_plb.Arch.t;
+  kind : kind;
+  die_area : float;  (** um^2 *)
+  cell_area : float;  (** sum of component/configuration areas, um^2 *)
+  gate_count : float;  (** NAND2 equivalents of the source design *)
+  avg_top10_slack : float;  (** ps, the paper's Table-2 metric *)
+  wns : float;
+  wirelength : float;  (** um *)
+  array_dims : (int * int) option;  (** flow b: PLB array cols x rows *)
+  tiles_used : int;
+  compaction_gain : float;  (** fractional gate-area saving of compaction *)
+  config_histogram : (Vpga_plb.Config.t * int) list;
+  displacement : float;  (** flow b: legalization perturbation, um *)
+  displacement_tiles : float;
+      (** flow b: mean per-item perturbation in tile units *)
+  power_uw : float;
+      (** total (dynamic + leakage) power estimate at the target period, uW *)
+  routed_vias : int;
+      (** vias used by the detailed (track-assignment) routing *)
+}
+
+type pair = { a : outcome; b : outcome }
+
+val run :
+  ?seed:int ->
+  ?period:float ->
+  ?utilization:float ->
+  ?anneal_iterations:int ->
+  ?refine:bool ->
+  ?use_criticality:bool ->
+  Vpga_plb.Arch.t ->
+  Vpga_netlist.Netlist.t ->
+  pair
+(** Runs both flows on a design, sharing the front-end.  [period] defaults
+    to 500 ps (the paper's 0.5 ns); [utilization] (0.7) is the flow-a
+    standard-cell row utilization; [seed] (1) drives every randomized stage
+    deterministically.  [refine] (true) enables the packing <->
+    physical-synthesis iteration; [use_criticality] (true) enables
+    timing-criticality weighting in placement and packing — both exist for
+    the ablation benches. *)
+
+val check_equivalence : Vpga_netlist.Netlist.t -> Vpga_netlist.Netlist.t -> unit
+(** Randomized equivalence gate used between flow stages.
+    @raise Failure on a mismatch. *)

@@ -1,0 +1,149 @@
+module Config = Vpga_plb.Config
+module S3 = Vpga_logic.S3
+
+let hr ppf n = Format.fprintf ppf "%s@." (String.make n '-')
+
+let table1 ppf rows =
+  Format.fprintf ppf "Table 1: Die-Area (um^2)@.";
+  hr ppf 78;
+  Format.fprintf ppf "%-16s | %12s %12s | %12s %12s@." ""
+    "Granular a" "Granular b" "LUT a" "LUT b";
+  hr ppf 78;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s | %12.0f %12.0f | %12.0f %12.0f@."
+        r.Experiments.name r.Experiments.granular.Flow.a.Flow.die_area
+        r.Experiments.granular.Flow.b.Flow.die_area
+        r.Experiments.lut.Flow.a.Flow.die_area
+        r.Experiments.lut.Flow.b.Flow.die_area)
+    rows;
+  hr ppf 78
+
+let table2 ppf rows =
+  Format.fprintf ppf
+    "Table 2: Path Slack 1-10 (ns, avg of 10 worst; 0.5 ns cycle)@.";
+  hr ppf 88;
+  Format.fprintf ppf "%-16s | %8s | %11s %11s | %11s %11s@." "" "kGates"
+    "Granular a" "Granular b" "LUT a" "LUT b";
+  hr ppf 88;
+  List.iter
+    (fun r ->
+      let ns ps = ps /. 1000.0 in
+      Format.fprintf ppf "%-16s | %8.1f | %11.3f %11.3f | %11.3f %11.3f@."
+        r.Experiments.name
+        (r.Experiments.granular.Flow.a.Flow.gate_count /. 1000.0)
+        (ns r.Experiments.granular.Flow.a.Flow.avg_top10_slack)
+        (ns r.Experiments.granular.Flow.b.Flow.avg_top10_slack)
+        (ns r.Experiments.lut.Flow.a.Flow.avg_top10_slack)
+        (ns r.Experiments.lut.Flow.b.Flow.avg_top10_slack))
+    rows;
+  hr ppf 88
+
+let headlines ppf h =
+  Format.fprintf ppf "Headline claims (paper Section 3.2 -> measured):@.";
+  Format.fprintf ppf
+    "  datapath die-area reduction (granular vs LUT, flow b): %5.1f%%  (paper ~32%%)@."
+    (100.0 *. h.Experiments.datapath_area_reduction);
+  Format.fprintf ppf
+    "  FPU die-area reduction:                                %5.1f%%  (paper ~40%%)@."
+    (100.0 *. h.Experiments.fpu_area_reduction);
+  Format.fprintf ppf
+    "  packing (a->b) area-overhead reduction:                %5.1f%%  (paper ~48%%)@."
+    (100.0 *. h.Experiments.packing_overhead_reduction);
+  Format.fprintf ppf
+    "  Firewire area reversal (granular worse):               %5b  (paper: yes)@."
+    h.Experiments.firewire_reversal;
+  Format.fprintf ppf
+    "  top-10 slack improvement (granular vs LUT, flow b):    %5.1f%%  (paper ~18%%)@."
+    (100.0 *. h.Experiments.slack_improvement);
+  Format.fprintf ppf
+    "  slack-degradation (a->b) reduction:                    %5.1f%%  (paper ~68%%)@."
+    (100.0 *. h.Experiments.degradation_reduction);
+  Format.fprintf ppf
+    "  legalization-displacement delta (granular vs LUT):     %5.1f%%  (measured; ~0 here)@."
+    (100.0 *. h.Experiments.displacement_reduction)
+
+let s3 ppf () =
+  Format.fprintf ppf "S3 classification of the 256 3-input functions (Figure 2):@.";
+  S3.pp_census ppf (S3.census ())
+
+let full_adder ppf () =
+  Format.fprintf ppf "Full-adder packing (Section 2.2):@.";
+  List.iter
+    (fun (arch, tiles) -> Format.fprintf ppf "  %-14s %d PLB tile(s)@." arch tiles)
+    (Experiments.full_adder_tiles ())
+
+let config_delays ppf () =
+  Format.fprintf ppf
+    "Logic configurations (Section 2.3): delay at 10 fF load, cell area@.";
+  List.iter
+    (fun (c, d, a) ->
+      Format.fprintf ppf "  %-8s %7.1f ps %8.1f um^2@." (Config.name c) d a)
+    (Experiments.config_delays ())
+
+let compaction ppf scale =
+  Format.fprintf ppf "Regularity-driven compaction (paper: ~15%% gate-area saving):@.";
+  List.iter
+    (fun (design, arch, before, after, gain) ->
+      Format.fprintf ppf "  %-16s %-14s %9.0f -> %9.0f um^2  (%.1f%%)@." design
+        arch before after (100.0 *. gain))
+    (Experiments.compaction_table scale)
+
+let config_distribution ppf rows =
+  Format.fprintf ppf
+    "Granular-PLB configuration distribution (paper: most LUT functions become NDMX/XOAMX):@.";
+  List.iter
+    (fun (design, hist) ->
+      Format.fprintf ppf "  %-16s" design;
+      List.iter
+        (fun (c, n) -> Format.fprintf ppf " %s:%d" (Config.name c) n)
+        hist;
+      Format.fprintf ppf "@.")
+    (Experiments.config_distribution rows)
+
+let firewire_remedy ppf scale =
+  Format.fprintf ppf
+    "Domain-specific PLB exploration (paper future work): Firewire, flow b@.";
+  List.iter
+    (fun (arch, die, slack) ->
+      Format.fprintf ppf "  %-14s die %8.0f um^2, top-10 slack %8.1f ps@." arch
+        die slack)
+    (Experiments.firewire_remedy scale)
+
+let ablation ppf scale =
+  Format.fprintf ppf
+    "Ablation (granular ALU, flow b): refinement loop and criticality weighting@.";
+  List.iter
+    (fun (setting, (o : Flow.outcome)) ->
+      Format.fprintf ppf
+        "  %-26s die %8.0f um^2, wire %8.0f um, top-10 slack %8.1f ps@."
+        setting o.Flow.die_area o.Flow.wirelength o.Flow.avg_top10_slack)
+    (Experiments.ablation scale)
+
+let power ppf rows =
+  Format.fprintf ppf
+    "Power (uW at the 0.5 ns cycle; flow b, post-layout loads):@.";
+  Format.fprintf ppf "  %-16s %12s %12s@." "" "Granular" "LUT";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-16s %12.0f %12.0f@." r.Experiments.name
+        r.Experiments.granular.Flow.b.Flow.power_uw
+        r.Experiments.lut.Flow.b.Flow.power_uw)
+    rows
+
+let vias ppf scale =
+  Format.fprintf ppf
+    "Configuration vias programmed per design (the via-patterning cost):@.";
+  List.iter
+    (fun (design, arch, used) ->
+      Format.fprintf ppf "  %-16s %-14s %8d vias@." design arch used)
+    (Experiments.via_table scale)
+
+let routing_styles ppf scale =
+  Format.fprintf ppf
+    "Routing-architecture exploration (paper future work): top-10 slack, ps@.";
+  Format.fprintf ppf "  %-16s %12s %12s@." "" "custom" "regular";
+  List.iter
+    (fun (design, custom, regular) ->
+      Format.fprintf ppf "  %-16s %12.1f %12.1f@." design custom regular)
+    (Experiments.routing_styles scale)

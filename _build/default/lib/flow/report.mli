@@ -1,0 +1,21 @@
+(** Text renderers for the paper's tables (printed by the bench harness and
+    the [vpga] CLI). *)
+
+val table1 : Format.formatter -> Experiments.row list -> unit
+(** Paper Table 1: die area (um^2) per design, granular vs LUT PLB, flows a
+    and b. *)
+
+val table2 : Format.formatter -> Experiments.row list -> unit
+(** Paper Table 2: average slack over the 10 most critical paths (ns). *)
+
+val headlines : Format.formatter -> Experiments.headline -> unit
+val s3 : Format.formatter -> unit -> unit
+val full_adder : Format.formatter -> unit -> unit
+val config_delays : Format.formatter -> unit -> unit
+val compaction : Format.formatter -> Experiments.scale -> unit
+val config_distribution : Format.formatter -> Experiments.row list -> unit
+val firewire_remedy : Format.formatter -> Experiments.scale -> unit
+val ablation : Format.formatter -> Experiments.scale -> unit
+val power : Format.formatter -> Experiments.row list -> unit
+val vias : Format.formatter -> Experiments.scale -> unit
+val routing_styles : Format.formatter -> Experiments.scale -> unit

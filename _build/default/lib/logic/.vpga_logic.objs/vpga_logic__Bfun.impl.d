@@ -1,0 +1,1 @@
+lib/logic/bfun.ml: Array Format Fun Hashtbl Int List Printf String

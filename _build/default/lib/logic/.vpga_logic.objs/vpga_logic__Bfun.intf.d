@@ -1,0 +1,1 @@
+lib/logic/bfun.mli: Format

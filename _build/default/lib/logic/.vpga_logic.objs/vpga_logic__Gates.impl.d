@@ -1,0 +1,1 @@
+lib/logic/gates.ml: Bfun Fun Hashtbl Lazy List

@@ -1,0 +1,1 @@
+lib/logic/npn.ml: Array Bfun Fun Hashtbl List

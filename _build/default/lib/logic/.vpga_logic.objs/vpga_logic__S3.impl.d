@@ -1,0 +1,1 @@
+lib/logic/s3.ml: Bfun Format Gates Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/logic/s3.mli: Bfun Format

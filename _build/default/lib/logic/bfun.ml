@@ -1,0 +1,150 @@
+type t = { arity : int; tt : int }
+
+let max_arity = 5
+
+let mask_of_arity arity = (1 lsl (1 lsl arity)) - 1
+
+let make ~arity tt =
+  if arity < 0 || arity > max_arity then
+    invalid_arg (Printf.sprintf "Bfun.make: arity %d out of [0,%d]" arity max_arity);
+  { arity; tt = tt land mask_of_arity arity }
+
+let arity f = f.arity
+let table f = f.tt
+
+let const ~arity b = make ~arity (if b then -1 else 0)
+
+(* Projection patterns: input i is true on minterms whose bit i is set.  For
+   arity 3, var 0 = 0xAA, var 1 = 0xCC, var 2 = 0xF0. *)
+let var ~arity i =
+  if i < 0 || i >= arity then
+    invalid_arg (Printf.sprintf "Bfun.var: input %d out of arity %d" i arity);
+  let n = 1 lsl arity in
+  let rec fill acc m =
+    if m >= n then acc
+    else fill (if (m lsr i) land 1 = 1 then acc lor (1 lsl m) else acc) (m + 1)
+  in
+  { arity; tt = fill 0 0 }
+
+let eval f m =
+  let n = 1 lsl f.arity in
+  if m < 0 || m >= n then invalid_arg "Bfun.eval: minterm out of range";
+  (f.tt lsr m) land 1 = 1
+
+let same_arity a b =
+  if a.arity <> b.arity then invalid_arg "Bfun: arity mismatch";
+  a.arity
+
+let lnot f = { f with tt = lnot f.tt land mask_of_arity f.arity }
+
+let ( &&& ) a b =
+  let arity = same_arity a b in
+  { arity; tt = a.tt land b.tt }
+
+let ( ||| ) a b =
+  let arity = same_arity a b in
+  { arity; tt = a.tt lor b.tt }
+
+let ( ^^^ ) a b =
+  let arity = same_arity a b in
+  { arity; tt = a.tt lxor b.tt }
+
+let nand a b = lnot (a &&& b)
+
+let mux ~sel f0 f1 =
+  let _ = same_arity sel f0 and _ = same_arity sel f1 in
+  (sel &&& f1) ||| (lnot sel &&& f0)
+
+let equal a b = a.arity = b.arity && a.tt = b.tt
+let compare a b =
+  let c = Int.compare a.arity b.arity in
+  if c <> 0 then c else Int.compare a.tt b.tt
+let hash f = Hashtbl.hash (f.arity, f.tt)
+
+let cofactor f ~var b =
+  if var < 0 || var >= f.arity then invalid_arg "Bfun.cofactor: bad input index";
+  let n = 1 lsl f.arity in
+  let pol = if b then 1 else 0 in
+  let rec fill acc j m =
+    if m >= n then acc
+    else if (m lsr var) land 1 = pol then
+      let acc = if (f.tt lsr m) land 1 = 1 then acc lor (1 lsl j) else acc in
+      fill acc (j + 1) (m + 1)
+    else fill acc j (m + 1)
+  in
+  { arity = f.arity - 1; tt = fill 0 0 0 }
+
+let expand ~sel_var ~lo ~hi =
+  let arity = same_arity lo hi + 1 in
+  if sel_var < 0 || sel_var >= arity then invalid_arg "Bfun.expand: bad input index";
+  let n = 1 lsl arity in
+  let rec fill acc m =
+    if m >= n then acc
+    else
+      (* Index into the cofactor: drop bit [sel_var] of m. *)
+      let low = m land ((1 lsl sel_var) - 1) in
+      let high = (m lsr (sel_var + 1)) lsl sel_var in
+      let j = low lor high in
+      let src = if (m lsr sel_var) land 1 = 1 then hi else lo in
+      let acc = if (src.tt lsr j) land 1 = 1 then acc lor (1 lsl m) else acc in
+      fill acc (m + 1)
+  in
+  { arity; tt = fill 0 0 }
+
+let depends_on f i =
+  not (equal (cofactor f ~var:i false) (cofactor f ~var:i true))
+
+let support f =
+  List.filter (depends_on f) (List.init f.arity Fun.id)
+
+let support_size f = List.length (support f)
+
+let popcount f =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 f.tt
+
+let is_const f = f.tt = 0 || f.tt = mask_of_arity f.arity
+
+let is_literal f =
+  List.exists
+    (fun i ->
+      let v = var ~arity:f.arity i in
+      equal f v || equal f (lnot v))
+    (List.init f.arity Fun.id)
+
+let extend f ~arity =
+  if arity < f.arity then invalid_arg "Bfun.extend: arity shrinks";
+  if arity > max_arity then invalid_arg "Bfun.extend: arity too large";
+  let rec go tt a =
+    if a = arity then tt else go (tt lor (tt lsl (1 lsl a))) (a + 1)
+  in
+  { arity; tt = go f.tt f.arity }
+
+let permute_inputs f p =
+  if Array.length p <> f.arity then invalid_arg "Bfun.permute_inputs: bad permutation";
+  let n = 1 lsl f.arity in
+  let rec fill acc m =
+    if m >= n then acc
+    else
+      let m' = ref 0 in
+      for i = 0 to f.arity - 1 do
+        if (m lsr i) land 1 = 1 then m' := !m' lor (1 lsl p.(i))
+      done;
+      let acc = if (f.tt lsr m) land 1 = 1 then acc lor (1 lsl !m') else acc in
+      fill acc (m + 1)
+  in
+  { arity = f.arity; tt = fill 0 0 }
+
+let cofactor_pair f ~var = (cofactor f ~var false, cofactor f ~var true)
+
+let all ~arity =
+  if arity > 4 then invalid_arg "Bfun.all: arity too large to enumerate";
+  List.init (1 lsl (1 lsl arity)) (fun tt -> make ~arity tt)
+
+let to_string f =
+  let n = 1 lsl f.arity in
+  String.init n (fun k ->
+      let m = n - 1 - k in
+      if (f.tt lsr m) land 1 = 1 then '1' else '0')
+
+let pp ppf f = Format.fprintf ppf "%d'%s" f.arity (to_string f)

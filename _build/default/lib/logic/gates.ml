@@ -1,0 +1,59 @@
+let xor2 = Bfun.make ~arity:2 0b0110
+let xnor2 = Bfun.make ~arity:2 0b1001
+
+let is_xor_type f = Bfun.equal f xor2 || Bfun.equal f xnor2
+
+let nd2wi_feasible f =
+  if Bfun.arity f <> 2 then invalid_arg "Gates.nd2wi_feasible: arity must be 2";
+  not (is_xor_type f)
+
+let nd2wi_strict f =
+  if Bfun.arity f <> 2 then invalid_arg "Gates.nd2wi_strict: arity must be 2";
+  let p = Bfun.popcount f in
+  p = 1 || p = 3
+
+let and_type f =
+  let p = Bfun.popcount f in
+  let n = 1 lsl Bfun.arity f in
+  p = 1 || p = n - 1
+
+(* Shrink a function to the variables it depends on. *)
+let project_to_support f =
+  let rec go f =
+    match List.find_opt (fun i -> not (Bfun.depends_on f i)) (List.init (Bfun.arity f) Fun.id) with
+    | None -> f
+    | Some i -> go (Bfun.cofactor f ~var:i false)
+  in
+  go f
+
+let nd3wi_feasible f =
+  if Bfun.arity f <> 3 then invalid_arg "Gates.nd3wi_feasible: arity must be 3";
+  let g = project_to_support f in
+  Bfun.is_const g || Bfun.is_literal g || and_type g
+
+(* All truth tables reachable by one 2:1 MUX whose pins are driven by
+   (possibly inverted) inputs or constants. *)
+let mux_tables =
+  lazy
+    (let sources =
+       let vs = List.init 3 (fun i -> Bfun.var ~arity:3 i) in
+       Bfun.const ~arity:3 false :: Bfun.const ~arity:3 true
+       :: (vs @ List.map Bfun.lnot vs)
+     in
+     let set = Hashtbl.create 64 in
+     List.iter
+       (fun sel ->
+         List.iter
+           (fun d0 ->
+             List.iter
+               (fun d1 ->
+                 let f = Bfun.mux ~sel d0 d1 in
+                 Hashtbl.replace set (Bfun.table f) ())
+               sources)
+           sources)
+       sources;
+     set)
+
+let mux_feasible f =
+  if Bfun.arity f <> 3 then invalid_arg "Gates.mux_feasible: arity must be 3";
+  Hashtbl.mem (Lazy.force mux_tables) (Bfun.table f)

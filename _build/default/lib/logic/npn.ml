@@ -1,0 +1,54 @@
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+(* All functions NPN-equivalent to [f]. *)
+let orbit f =
+  let n = Bfun.arity f in
+  let perms = permutations (List.init n Fun.id) in
+  let variants = ref [] in
+  List.iter
+    (fun perm ->
+      let p = Array.of_list perm in
+      let g = Bfun.permute_inputs f p in
+      for mask = 0 to (1 lsl n) - 1 do
+        (* negate inputs in [mask] by swapping cofactors *)
+        let h = ref g in
+        for i = 0 to n - 1 do
+          if (mask lsr i) land 1 = 1 then begin
+            let lo, hi = Bfun.cofactor_pair !h ~var:i in
+            h := Bfun.expand ~sel_var:i ~lo:hi ~hi:lo
+          end
+        done;
+        variants := !h :: Bfun.lnot !h :: !variants
+      done)
+    perms;
+  !variants
+
+let canonical f =
+  List.fold_left
+    (fun best g -> if Bfun.compare g best < 0 then g else best)
+    f (orbit f)
+
+let equivalent a b = Bfun.equal (canonical a) (canonical b)
+
+let classes ~arity =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let c = canonical f in
+      if not (Hashtbl.mem seen (Bfun.table c)) then
+        Hashtbl.add seen (Bfun.table c) c)
+    (Bfun.all ~arity);
+  Hashtbl.fold (fun _ c acc -> c :: acc) seen []
+  |> List.sort Bfun.compare
+
+let class_size f =
+  let tables = Hashtbl.create 64 in
+  List.iter (fun g -> Hashtbl.replace tables (Bfun.table g) ()) (orbit f);
+  Hashtbl.length tables

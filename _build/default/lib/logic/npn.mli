@@ -1,0 +1,21 @@
+(** NPN canonicalization: equivalence of Boolean functions under input
+    negation, input permutation and output negation.
+
+    Via-patterned cells with programmable polarities implement whole NPN
+    classes at once, so architecture coverage statements (Section 2) are
+    naturally per-class; there are 14 NPN classes of 3-input functions. *)
+
+val canonical : Bfun.t -> Bfun.t
+(** The minimum (by truth table) representative of the function's NPN
+    class.  Exhaustive over the [2 * 2^n * n!] transforms — intended for
+    [n <= 4]. *)
+
+val equivalent : Bfun.t -> Bfun.t -> bool
+(** Same NPN class. *)
+
+val classes : arity:int -> Bfun.t list
+(** Canonical representatives of all NPN classes at the given arity,
+    ascending (14 entries at arity 3). *)
+
+val class_size : Bfun.t -> int
+(** Number of distinct functions in the function's NPN class. *)

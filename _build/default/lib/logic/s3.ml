@@ -1,0 +1,101 @@
+type category =
+  | Nd2_xor
+  | Nd2_xnor
+  | Both_xor
+  | Both_xnor
+  | Complement_pair
+
+let category_name = function
+  | Nd2_xor -> "ND2WI cofactor + XOR cofactor"
+  | Nd2_xnor -> "ND2WI cofactor + XNOR cofactor"
+  | Both_xor -> "both cofactors XOR (2-input XOR)"
+  | Both_xnor -> "both cofactors XNOR (2-input XNOR)"
+  | Complement_pair -> "complementary XOR-type cofactors (3-input XOR/XNOR)"
+
+let all_categories = [ Nd2_xor; Nd2_xnor; Both_xor; Both_xnor; Complement_pair ]
+
+let select_var = 2
+
+let check_arity f =
+  if Bfun.arity f <> 3 then invalid_arg "S3: arity must be 3"
+
+let cofactors f = Bfun.cofactor_pair f ~var:select_var
+
+let feasible f =
+  check_arity f;
+  let g, h = cofactors f in
+  Gates.nd2wi_feasible g && Gates.nd2wi_feasible h
+
+let classify_infeasible f =
+  check_arity f;
+  let g, h = cofactors f in
+  match (Gates.is_xor_type g, Gates.is_xor_type h) with
+  | false, false -> invalid_arg "S3.classify_infeasible: function is S3-feasible"
+  | true, true ->
+      if Bfun.equal g h then
+        if Bfun.equal g Gates.xor2 then Both_xor else Both_xnor
+      else Complement_pair
+  | true, false | false, true ->
+      let x = if Gates.is_xor_type g then g else h in
+      if Bfun.equal x Gates.xor2 then Nd2_xor else Nd2_xnor
+
+let feasible_any_select f =
+  check_arity f;
+  List.exists
+    (fun s ->
+      let g, h = Bfun.cofactor_pair f ~var:s in
+      Gates.nd2wi_feasible g && Gates.nd2wi_feasible h)
+    [ 0; 1; 2 ]
+
+(* The modified cell's MUX leg covers all 16 2-input functions, so any f with
+   at least one non-XOR-type cofactor is feasible.  When both cofactors are
+   XOR-type, the paper's categories 3-5 apply: equal cofactors mean f is a
+   2-input XOR/XNOR (a single MUX with input polarities), complementary
+   cofactors mean f is a 3-input XOR/XNOR (two chained MUXes plus the
+   programmable inverter).  Every XOR-type pair is equal or complementary,
+   so the modified cell is total. *)
+let modified_feasible f =
+  check_arity f;
+  let g, h = cofactors f in
+  (not (Gates.is_xor_type g && Gates.is_xor_type h))
+  || Bfun.equal g h
+  || Bfun.equal g (Bfun.lnot h)
+
+type census = {
+  s3_feasible : int;
+  s3_infeasible : int;
+  by_category : (category * int) list;
+  any_select_feasible : int;
+  modified_feasible : int;
+}
+
+let census () =
+  let fs = Bfun.all ~arity:3 in
+  let counts = Hashtbl.create 8 in
+  let bump c = Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)) in
+  let feas = ref 0 and any = ref 0 and modi = ref 0 in
+  List.iter
+    (fun f ->
+      if feasible f then incr feas else bump (classify_infeasible f);
+      if feasible_any_select f then incr any;
+      if modified_feasible f then incr modi)
+    fs;
+  {
+    s3_feasible = !feas;
+    s3_infeasible = 256 - !feas;
+    by_category =
+      List.map
+        (fun c -> (c, Option.value ~default:0 (Hashtbl.find_opt counts c)))
+        all_categories;
+    any_select_feasible = !any;
+    modified_feasible = !modi;
+  }
+
+let pp_census ppf c =
+  Format.fprintf ppf "S3-feasible: %d / 256@." c.s3_feasible;
+  Format.fprintf ppf "S3-infeasible: %d, by Figure-2 category:@." c.s3_infeasible;
+  List.iter
+    (fun (cat, n) -> Format.fprintf ppf "  %-52s %3d@." (category_name cat) n)
+    c.by_category;
+  Format.fprintf ppf "Feasible with free select choice: %d / 256@." c.any_select_feasible;
+  Format.fprintf ppf "Modified S3 cell: %d / 256@." c.modified_feasible

@@ -1,0 +1,1 @@
+lib/mapper/compact.ml: Array Hashtbl List Option Printf Vpga_aig Vpga_logic Vpga_netlist Vpga_plb

@@ -1,0 +1,1 @@
+lib/mapper/compact.mli: Vpga_netlist Vpga_plb

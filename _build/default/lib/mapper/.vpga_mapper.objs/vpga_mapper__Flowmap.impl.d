@@ -1,0 +1,1 @@
+lib/mapper/flowmap.ml: Array Hashtbl Vpga_aig Vpga_maxflow

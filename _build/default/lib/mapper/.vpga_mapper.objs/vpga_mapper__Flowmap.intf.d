@@ -1,0 +1,1 @@
+lib/mapper/flowmap.mli: Vpga_aig

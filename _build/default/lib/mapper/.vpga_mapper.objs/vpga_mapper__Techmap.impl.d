@@ -1,0 +1,1 @@
+lib/mapper/techmap.ml: Array Fun List Vpga_cells Vpga_logic Vpga_netlist Vpga_plb

@@ -1,0 +1,1 @@
+lib/mapper/techmap.mli: Vpga_netlist Vpga_plb

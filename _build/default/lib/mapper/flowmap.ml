@@ -1,0 +1,85 @@
+module Aig = Vpga_aig.Aig
+module Maxflow = Vpga_maxflow.Maxflow
+
+(* Transitive fanin cone of [t] (node ids, including [t], PIs and const). *)
+let cone aig t =
+  let seen = Hashtbl.create 64 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      if (not (Aig.is_pi aig id)) && not (Aig.is_const id) then begin
+        let l0, l1 = Aig.fanins aig id in
+        visit (Aig.node_of l0);
+        visit (Aig.node_of l1)
+      end
+    end
+  in
+  visit t;
+  seen
+
+(* Does node [t] admit a k-feasible cut all of whose leaves have labels < p,
+   where p is the max fanin label?  Decided by max-flow on the node-split
+   cone with label-p nodes collapsed into the sink. *)
+let min_height_cut_exists aig ~k t labels =
+  let l0, l1 = Aig.fanins aig t in
+  let p = max labels.(Aig.node_of l0) labels.(Aig.node_of l1) in
+  let members = cone aig t in
+  let collapsed id = id = t || labels.(id) = p in
+  (* Assign flow-network indices to non-collapsed cone nodes. *)
+  let index = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id () ->
+      if not (collapsed id) then Hashtbl.add index id (Hashtbl.length index))
+    members;
+  let n_split = Hashtbl.length index in
+  let source = 0 and sink = 1 in
+  let v_in id = 2 + (2 * Hashtbl.find index id) in
+  let v_out id = 3 + (2 * Hashtbl.find index id) in
+  let net = Maxflow.create (2 + (2 * n_split)) in
+  let inf = Maxflow.infinity in
+  (* Node capacities. *)
+  Hashtbl.iter
+    (fun id () ->
+      if not (collapsed id) then
+        Maxflow.add_edge net ~src:(v_in id) ~dst:(v_out id) ~cap:1)
+    members;
+  let infeasible = ref false in
+  (* Source feeds the cone's own sources (PIs / const). *)
+  Hashtbl.iter
+    (fun id () ->
+      if Aig.is_pi aig id || Aig.is_const id then
+        if collapsed id then infeasible := true
+        else Maxflow.add_edge net ~src:source ~dst:(v_in id) ~cap:inf)
+    members;
+  (* Internal edges. *)
+  Hashtbl.iter
+    (fun id () ->
+      if (not (Aig.is_pi aig id)) && not (Aig.is_const id) then begin
+        let f0, f1 = Aig.fanins aig id in
+        let connect src_id =
+          if not (collapsed src_id) then
+            Maxflow.add_edge net ~src:(v_out src_id)
+              ~dst:(if collapsed id then sink else v_in id)
+              ~cap:inf
+        in
+        connect (Aig.node_of f0);
+        connect (Aig.node_of f1)
+      end)
+    members;
+  if !infeasible then false
+  else Maxflow.max_flow net ~source ~sink <= k
+
+let labels aig ~k =
+  let n = Aig.size aig in
+  let labels = Array.make n 0 in
+  for id = 1 to n - 1 do
+    if not (Aig.is_pi aig id) then begin
+      let l0, l1 = Aig.fanins aig id in
+      let p = max labels.(Aig.node_of l0) labels.(Aig.node_of l1) in
+      labels.(id) <-
+        (if min_height_cut_exists aig ~k id labels then p else p + 1)
+    end
+  done;
+  labels
+
+let depth aig ~k = Array.fold_left max 0 (labels aig ~k)

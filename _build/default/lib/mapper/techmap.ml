@@ -1,0 +1,111 @@
+module Bfun = Vpga_logic.Bfun
+module Gates = Vpga_logic.Gates
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Arch = Vpga_plb.Arch
+module Config = Vpga_plb.Config
+module Cell = Vpga_cells.Cell
+module Characterize = Vpga_cells.Characterize
+
+(* Drop inputs the function does not depend on, narrowing the fanin list to
+   match. *)
+let project fn fanins =
+  let support = Bfun.support fn in
+  if List.length support = Bfun.arity fn then (fn, fanins)
+  else
+    let rec shrink fn fanins =
+      match
+        List.find_opt
+          (fun i -> not (Bfun.depends_on fn i))
+          (List.init (Bfun.arity fn) Fun.id)
+      with
+      | None -> (fn, fanins)
+      | Some i ->
+          let fanins =
+            Array.init
+              (Array.length fanins - 1)
+              (fun j -> if j < i then fanins.(j) else fanins.(j + 1))
+          in
+          shrink (Bfun.cofactor fn ~var:i false) fanins
+    in
+    shrink fn fanins
+
+let mapped cell fn = Kind.Mapped { cell; fn }
+
+let is_lut_arch arch = arch.Arch.name = "lut_plb"
+
+(* Cell count a 2-or-fewer-input subfunction will need (select heuristic). *)
+let subcost fn =
+  if Bfun.is_const fn then 0
+  else if Bfun.is_literal fn then if Bfun.table fn land 1 = 0 then 0 else 1
+  else 1
+
+let rec emit arch dst fn fanins =
+  let fn, fanins = project fn fanins in
+  match Bfun.arity fn with
+  | 0 -> Netlist.gate dst (Kind.Const (Bfun.eval fn 0)) [||]
+  | 1 ->
+      if Bfun.table fn = 0b10 then fanins.(0)
+      else Netlist.gate dst (mapped "inv" fn) fanins
+  | 2 ->
+      if Gates.is_xor_type fn then
+        if is_lut_arch arch then Netlist.gate dst (mapped "lut3" fn) fanins
+        else Netlist.gate dst (mapped "xoa" fn) fanins
+      else Netlist.gate dst (mapped "nd3wi" fn) fanins
+  | 3 ->
+      if Gates.nd3wi_feasible fn then Netlist.gate dst (mapped "nd3wi" fn) fanins
+      else if is_lut_arch arch then Netlist.gate dst (mapped "lut3" fn) fanins
+      else if Gates.mux_feasible fn then
+        Netlist.gate dst (mapped "mux2" fn) fanins
+      else begin
+        (* Shannon-decompose around the cheapest select input; cofactors are
+           2-input subfunctions, realized recursively, then recombined on a
+           2:1 MUX. *)
+        let cost s =
+          let lo, hi = Bfun.cofactor_pair fn ~var:s in
+          subcost lo + subcost hi
+        in
+        let s =
+          List.fold_left
+            (fun best v -> if cost v < cost best then v else best)
+            0 [ 1; 2 ]
+        in
+        let lo, hi = Bfun.cofactor_pair fn ~var:s in
+        let sub =
+          Array.init 2 (fun i -> if i < s then fanins.(i) else fanins.(i + 1))
+        in
+        let nlo = emit arch dst lo sub and nhi = emit arch dst hi sub in
+        let mux3 =
+          Bfun.(mux ~sel:(var ~arity:3 0) (var ~arity:3 1) (var ~arity:3 2))
+        in
+        Netlist.gate dst (mapped "mux2" mux3) [| fanins.(s); nlo; nhi |]
+      end
+  | _ -> invalid_arg "Techmap: gate arity above 3"
+
+let map arch nl =
+  Netlist.map_combinational ~name:(Netlist.design_name nl) nl
+    (fun dst node fanins ->
+      match node.Netlist.kind with
+      | Kind.Const b -> Netlist.gate dst (Kind.Const b) [||]
+      | k -> emit arch dst (Kind.fn k) fanins)
+
+let cell_area_of_node n =
+  match n.Netlist.kind with
+  | Kind.Dff -> (Characterize.find "dff").Cell.area
+  | Kind.Mapped { cell; _ } -> (
+      match Config.of_cell_name cell with
+      | Some c -> Config.cell_area c
+      | None -> (Characterize.find cell).Cell.area)
+  | Kind.Input | Kind.Output | Kind.Const _ -> 0.0
+  | Kind.Buf | Kind.Inv -> (Characterize.find "inv").Cell.area
+  | ( Kind.And2 | Kind.Or2 | Kind.Nand2 | Kind.Nor2 | Kind.Xor2 | Kind.Xnor2
+    | Kind.Mux2 | Kind.And3 | Kind.Or3 | Kind.Nand3 | Kind.Nor3 | Kind.Xor3
+    | Kind.Maj3 ) as k ->
+      (* NAND2-equivalent estimate for not-yet-mapped gates. *)
+      Vpga_netlist.Stats.nand2_equivalents k
+      *. (Characterize.find "nd2wi").Cell.area
+
+let cell_area nl =
+  Array.fold_left
+    (fun acc n -> acc +. cell_area_of_node n)
+    0.0 (Netlist.nodes nl)

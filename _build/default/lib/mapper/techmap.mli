@@ -1,0 +1,22 @@
+(** Technology mapping onto the restricted component-cell library of a PLB
+    architecture — the Design-Compiler substitute of the flow's
+    "Synthesis, Mapping" box.
+
+    Mapping is {e local} (one generic gate at a time, like tree covering
+    against a small library): each gate's function is realized with the
+    cheapest component-cell structure of the target architecture.  Cross-gate
+    restructuring is deliberately left to the regularity-driven
+    {!Compact} step, whose benefit the paper quantifies separately. *)
+
+val map : Vpga_plb.Arch.t -> Vpga_netlist.Netlist.t -> Vpga_netlist.Netlist.t
+(** Returns an equivalent netlist whose combinational nodes are all
+    [Kind.Mapped] component cells of the architecture's library
+    (plus DFFs). *)
+
+val cell_area : Vpga_netlist.Netlist.t -> float
+(** Total component-cell area of a mapped netlist, um^2 (the paper's "total
+    gate area").  DFFs included; primary I/O excluded. *)
+
+val cell_area_of_node : Vpga_netlist.Netlist.node -> float
+(** Area of one node: component-cell or configuration area for mapped nodes,
+    a NAND2-equivalent estimate for generic gates, 0 for I/O. *)

@@ -1,0 +1,1 @@
+lib/maxflow/maxflow.ml: Array List Queue

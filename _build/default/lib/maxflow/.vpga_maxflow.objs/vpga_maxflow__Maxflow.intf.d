@@ -1,0 +1,1 @@
+lib/maxflow/maxflow.mli:

@@ -1,0 +1,139 @@
+(* Dinic's algorithm with adjacency stored as a flat edge list; edge i and
+   its residual partner are (i lxor 1). *)
+
+type t = {
+  n : int;
+  mutable edges_dst : int array;
+  mutable edges_cap : int array;
+  mutable edge_count : int;
+  adj : int list array; (* per-node edge indices, reversed *)
+  mutable adj_frozen : int array array option;
+  level : int array;
+  iter : int array;
+}
+
+let infinity = max_int
+
+let create n =
+  {
+    n;
+    edges_dst = Array.make 16 0;
+    edges_cap = Array.make 16 0;
+    edge_count = 0;
+    adj = Array.make n [];
+    adj_frozen = None;
+    level = Array.make n (-1);
+    iter = Array.make n 0;
+  }
+
+let grow t =
+  if t.edge_count + 2 > Array.length t.edges_dst then begin
+    let len = 2 * Array.length t.edges_dst in
+    let dst = Array.make len 0 and cap = Array.make len 0 in
+    Array.blit t.edges_dst 0 dst 0 t.edge_count;
+    Array.blit t.edges_cap 0 cap 0 t.edge_count;
+    t.edges_dst <- dst;
+    t.edges_cap <- cap
+  end
+
+let add_edge t ~src ~dst ~cap =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if t.adj_frozen <> None then invalid_arg "Maxflow.add_edge: already solved";
+  grow t;
+  let e = t.edge_count in
+  t.edges_dst.(e) <- dst;
+  t.edges_cap.(e) <- cap;
+  t.edges_dst.(e + 1) <- src;
+  t.edges_cap.(e + 1) <- 0;
+  t.adj.(src) <- e :: t.adj.(src);
+  t.adj.(dst) <- (e + 1) :: t.adj.(dst);
+  t.edge_count <- t.edge_count + 2
+
+let freeze t =
+  match t.adj_frozen with
+  | Some a -> a
+  | None ->
+      let a = Array.map (fun l -> Array.of_list (List.rev l)) t.adj in
+      t.adj_frozen <- Some a;
+      a
+
+let bfs t adj ~source ~sink =
+  Array.fill t.level 0 t.n (-1);
+  let q = Queue.create () in
+  t.level.(source) <- 0;
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun e ->
+        let v = t.edges_dst.(e) in
+        if t.edges_cap.(e) > 0 && t.level.(v) < 0 then begin
+          t.level.(v) <- t.level.(u) + 1;
+          Queue.push v q
+        end)
+      adj.(u)
+  done;
+  t.level.(sink) >= 0
+
+let rec dfs t adj u ~sink pushed =
+  if u = sink then pushed
+  else begin
+    let res = ref 0 in
+    let a = adj.(u) in
+    while !res = 0 && t.iter.(u) < Array.length a do
+      let e = a.(t.iter.(u)) in
+      let v = t.edges_dst.(e) in
+      if t.edges_cap.(e) > 0 && t.level.(v) = t.level.(u) + 1 then begin
+        let d = dfs t adj v ~sink (min pushed t.edges_cap.(e)) in
+        if d > 0 then begin
+          if t.edges_cap.(e) <> infinity then
+            t.edges_cap.(e) <- t.edges_cap.(e) - d;
+          if t.edges_cap.(e lxor 1) <> infinity then
+            t.edges_cap.(e lxor 1) <- t.edges_cap.(e lxor 1) + d;
+          res := d
+        end
+        else t.iter.(u) <- t.iter.(u) + 1
+      end
+      else t.iter.(u) <- t.iter.(u) + 1
+    done;
+    !res
+  end
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let adj = freeze t in
+  let flow = ref 0 in
+  while !flow <> infinity && bfs t adj ~source ~sink do
+    Array.fill t.iter 0 t.n 0;
+    let rec pump () =
+      let f = dfs t adj source ~sink infinity in
+      if f = infinity then flow := infinity
+      else if f > 0 then begin
+        if !flow <> infinity then flow := !flow + f;
+        pump ()
+      end
+    in
+    pump ()
+  done;
+  if !flow = infinity then infinity else !flow
+
+let min_cut_side t ~source =
+  let adj = freeze t in
+  let side = Array.make t.n false in
+  let q = Queue.create () in
+  side.(source) <- true;
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun e ->
+        let v = t.edges_dst.(e) in
+        if t.edges_cap.(e) > 0 && not side.(v) then begin
+          side.(v) <- true;
+          Queue.push v q
+        end)
+      adj.(u)
+  done;
+  side

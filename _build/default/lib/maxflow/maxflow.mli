@@ -1,0 +1,24 @@
+(** Dinic max-flow / min-cut on small directed graphs.
+
+    This is the kernel of the FlowMap-style clustering used by the paper's
+    logic-compaction step: node-split unit-capacity networks whose min cut
+    answers "is there a k-feasible cut?". *)
+
+type t
+
+val create : int -> t
+(** [create n] makes an empty flow network with nodes [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Adds a directed edge (a reverse residual edge of capacity 0 is added
+    automatically).  [cap] may be [max_int] for infinity. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Computes the max flow; saturates at [max_int] if the sink is reachable
+    through infinite-capacity paths only.  May be called once per network. *)
+
+val min_cut_side : t -> source:int -> bool array
+(** After {!max_flow}: nodes reachable from the source in the residual graph
+    (the source side of a minimum cut). *)
+
+val infinity : int

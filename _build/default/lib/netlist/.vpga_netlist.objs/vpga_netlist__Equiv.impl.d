@@ -1,0 +1,1 @@
+lib/netlist/equiv.ml: Array List Netlist Random Simulate

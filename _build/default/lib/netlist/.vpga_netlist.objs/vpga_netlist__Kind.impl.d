@@ -1,0 +1,1 @@
+lib/netlist/kind.ml: Array Format Vpga_logic

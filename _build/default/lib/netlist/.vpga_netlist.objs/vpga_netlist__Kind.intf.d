@@ -1,0 +1,1 @@
+lib/netlist/kind.mli: Format Vpga_logic

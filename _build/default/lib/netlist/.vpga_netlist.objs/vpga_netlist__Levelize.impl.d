@@ -1,0 +1,1 @@
+lib/netlist/levelize.ml: Array Kind Netlist

@@ -1,0 +1,1 @@
+lib/netlist/levelize.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/netlist.mli: Format Kind

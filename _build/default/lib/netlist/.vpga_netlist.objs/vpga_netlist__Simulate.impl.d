@@ -1,0 +1,1 @@
+lib/netlist/simulate.ml: Array Kind Levelize List Netlist

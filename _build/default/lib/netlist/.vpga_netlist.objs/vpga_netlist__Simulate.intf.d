@@ -1,0 +1,1 @@
+lib/netlist/simulate.mli: Netlist

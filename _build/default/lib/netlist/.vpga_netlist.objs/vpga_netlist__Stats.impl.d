@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Hashtbl Kind List Netlist Option

@@ -1,0 +1,1 @@
+lib/netlist/stats.mli: Kind Netlist

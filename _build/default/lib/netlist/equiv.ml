@@ -1,0 +1,66 @@
+type verdict =
+  | Equivalent
+  | Mismatch of { cycle : int; output : int; vectors : bool array list }
+
+let same_interface a b =
+  List.length (Netlist.inputs a) = List.length (Netlist.inputs b)
+  && List.length (Netlist.outputs a) = List.length (Netlist.outputs b)
+
+let compare_outputs poa pob =
+  let rec go k =
+    if k >= Array.length poa then None
+    else if poa.(k) <> pob.(k) then Some k
+    else go (k + 1)
+  in
+  go 0
+
+let run_sequence sima simb seq =
+  Simulate.reset sima;
+  Simulate.reset simb;
+  let rec go cycle history = function
+    | [] -> None
+    | pi :: rest -> begin
+        let history = pi :: history in
+        let poa = Simulate.step sima pi and pob = Simulate.step simb pi in
+        match compare_outputs poa pob with
+        | Some k -> Some (cycle, k, List.rev history)
+        | None -> go (cycle + 1) history rest
+      end
+  in
+  go 0 [] seq
+
+let check ?(vectors = 64) ?(sequence_length = 8) ~seed a b =
+  if not (same_interface a b) then
+    invalid_arg "Equiv.check: interface mismatch";
+  let rng = Random.State.make [| seed |] in
+  let npi = List.length (Netlist.inputs a) in
+  let sima = Simulate.create a and simb = Simulate.create b in
+  let rec attempt v =
+    if v >= vectors then Equivalent
+    else
+      let seq =
+        List.init sequence_length (fun _ ->
+            Array.init npi (fun _ -> Random.State.bool rng))
+      in
+      match run_sequence sima simb seq with
+      | Some (cycle, output, vs) -> Mismatch { cycle; output; vectors = vs }
+      | None -> attempt (v + 1)
+  in
+  attempt 0
+
+let check_exhaustive a b =
+  if not (same_interface a b) then
+    invalid_arg "Equiv.check_exhaustive: interface mismatch";
+  let npi = List.length (Netlist.inputs a) in
+  if npi > 16 then invalid_arg "Equiv.check_exhaustive: too many inputs";
+  let sima = Simulate.create a and simb = Simulate.create b in
+  let rec go m =
+    if m >= 1 lsl npi then Equivalent
+    else
+      let pi = Array.init npi (fun i -> (m lsr i) land 1 = 1) in
+      let poa = Simulate.eval_comb sima pi and pob = Simulate.eval_comb simb pi in
+      match compare_outputs poa pob with
+      | Some k -> Mismatch { cycle = 0; output = k; vectors = [ pi ] }
+      | None -> go (m + 1)
+  in
+  go 0

@@ -1,0 +1,21 @@
+(** Randomized equivalence checking between two netlists with identical
+    primary-input/output interfaces.
+
+    Used as the flow's sanity net: every transformation (mapping, compaction,
+    buffering) must leave the design observationally equivalent. *)
+
+type verdict =
+  | Equivalent
+  | Mismatch of { cycle : int; output : int; vectors : bool array list }
+
+val check :
+  ?vectors:int -> ?sequence_length:int -> seed:int ->
+  Netlist.t -> Netlist.t -> verdict
+(** [check ~seed a b] drives both designs with [vectors] random input
+    sequences of [sequence_length] cycles from reset and compares all primary
+    outputs each cycle.  Defaults: 64 sequences of 8 cycles.
+    @raise Invalid_argument if interfaces differ. *)
+
+val check_exhaustive : Netlist.t -> Netlist.t -> verdict
+(** Exhaustive single-cycle check for combinational designs with at most 16
+    primary inputs. *)

@@ -1,0 +1,42 @@
+type t = { order : int array; level : int array; depth : int }
+
+exception Combinational_cycle of int list
+
+(* Combinational fanins of a node: a flop's D edge does not count (it is a
+   sequential boundary), and a flop's own Q is a source. *)
+let comb_fanins n =
+  match n.Netlist.kind with Kind.Dff -> [||] | _ -> n.Netlist.fanins
+
+let run nl =
+  let n = Netlist.size nl in
+  let level = Array.make n 0 in
+  let state = Array.make n `White in
+  let order = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec visit path i =
+    match state.(i) with
+    | `Black -> ()
+    | `Grey -> raise (Combinational_cycle (i :: path))
+    | `White ->
+        state.(i) <- `Grey;
+        let node = Netlist.node nl i in
+        let fis = comb_fanins node in
+        Array.iter (visit (i :: path)) fis;
+        let lv =
+          Array.fold_left (fun acc f -> max acc (level.(f) + 1)) 0 fis
+        in
+        (* Sources sit at level 0; buffers/outputs still advance a level so
+           [level] is a valid topological rank. *)
+        level.(i) <- (match node.Netlist.kind with
+                      | Kind.Input | Kind.Dff | Kind.Const _ -> 0
+                      | _ -> lv);
+        state.(i) <- `Black;
+        order.(!pos) <- i;
+        incr pos
+  in
+  for i = 0 to n - 1 do visit [] i done;
+  let depth = Array.fold_left max 0 level in
+  { order; level; depth }
+
+let is_acyclic nl =
+  match run nl with _ -> true | exception Combinational_cycle _ -> false

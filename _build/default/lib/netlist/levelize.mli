@@ -1,0 +1,19 @@
+(** Topological ordering of the combinational portion of a netlist.
+
+    Primary inputs, constants and flop outputs (Q pins) are level-0 sources;
+    each combinational gate's level is one more than the maximum level of its
+    fanins; flop D pins and primary outputs are sinks. *)
+
+type t = {
+  order : int array;  (** node ids, combinational-topological order *)
+  level : int array;  (** per-node logic level; sources are 0 *)
+  depth : int;        (** maximum level *)
+}
+
+exception Combinational_cycle of int list
+(** Raised with (a fragment of) the offending cycle's node ids. *)
+
+val run : Netlist.t -> t
+(** @raise Combinational_cycle if gates form a cycle not broken by a flop. *)
+
+val is_acyclic : Netlist.t -> bool

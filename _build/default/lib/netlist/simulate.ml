@@ -1,0 +1,49 @@
+type t = {
+  nl : Netlist.t;
+  topo : Levelize.t;
+  values : bool array;
+  state : bool array; (* indexed like nodes; only flop slots used *)
+}
+
+let create nl =
+  let topo = Levelize.run nl in
+  let n = Netlist.size nl in
+  { nl; topo; values = Array.make n false; state = Array.make n false }
+
+let reset sim = Array.fill sim.state 0 (Array.length sim.state) false
+
+let eval_comb_internal sim pi =
+  let ins = Netlist.inputs sim.nl in
+  if List.length ins <> Array.length pi then
+    invalid_arg "Simulate: wrong number of primary inputs";
+  List.iteri (fun k i -> sim.values.(i) <- pi.(k)) ins;
+  Array.iter
+    (fun i ->
+      let node = Netlist.node sim.nl i in
+      match node.Netlist.kind with
+      | Kind.Input -> ()
+      | Kind.Dff -> sim.values.(i) <- sim.state.(i)
+      | k ->
+          let args = Array.map (fun f -> sim.values.(f)) node.Netlist.fanins in
+          sim.values.(i) <- Kind.eval k args)
+    sim.topo.Levelize.order;
+  Array.of_list
+    (List.map (fun o -> sim.values.(o)) (Netlist.outputs sim.nl))
+
+let eval_comb sim pi = eval_comb_internal sim pi
+
+let step sim pi =
+  let po = eval_comb_internal sim pi in
+  List.iter
+    (fun i ->
+      let d = (Netlist.node sim.nl i).Netlist.fanins.(0) in
+      sim.state.(i) <- sim.values.(d))
+    (Netlist.flops sim.nl);
+  po
+
+let value sim i = sim.values.(i)
+
+let run nl vectors =
+  let sim = create nl in
+  reset sim;
+  List.map (step sim) vectors

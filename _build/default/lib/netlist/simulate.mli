@@ -1,0 +1,24 @@
+(** Cycle-accurate two-valued simulation. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Builds a simulator; flops reset to 0.
+    @raise Levelize.Combinational_cycle on an ill-formed netlist. *)
+
+val reset : t -> unit
+
+val step : t -> bool array -> bool array
+(** [step sim pi] applies one clock cycle: evaluates combinational logic with
+    primary-input values [pi] (in {!Netlist.inputs} order), samples flop D
+    pins, then returns the primary-output values {e before} the flop update
+    (i.e. the outputs visible during the cycle).  Flops update afterwards. *)
+
+val eval_comb : t -> bool array -> bool array
+(** Combinational evaluation only: no state update. *)
+
+val value : t -> int -> bool
+(** Most recently computed value of a node. *)
+
+val run : Netlist.t -> bool array list -> bool array list
+(** Convenience: reset, then [step] through a list of input vectors. *)

@@ -1,0 +1,53 @@
+let nand2_equivalents = function
+  | Kind.Input | Kind.Output | Kind.Const _ -> 0.0
+  | Kind.Buf -> 0.5
+  | Kind.Inv -> 0.5
+  | Kind.Nand2 | Kind.Nor2 -> 1.0
+  | Kind.And2 | Kind.Or2 -> 1.5
+  | Kind.Xor2 | Kind.Xnor2 -> 2.5
+  | Kind.Mux2 -> 2.5
+  | Kind.Nand3 | Kind.Nor3 -> 1.5
+  | Kind.And3 | Kind.Or3 -> 2.0
+  | Kind.Xor3 -> 5.0
+  | Kind.Maj3 -> 3.0
+  | Kind.Dff -> 4.0
+  | Kind.Mapped { cell; _ } -> (
+      (* Component cells of the PLB libraries. *)
+      match cell with
+      | "lut3" -> 6.0
+      | "mux2" | "xoa" -> 2.5
+      | "nd2wi" -> 1.0
+      | "nd3wi" -> 1.5
+      | "inv" | "buf" -> 0.5
+      | "dff" -> 4.0
+      | _ -> 1.0)
+
+let gate_count nl =
+  Array.fold_left
+    (fun acc n -> acc +. nand2_equivalents n.Netlist.kind)
+    0.0 (Netlist.nodes nl)
+
+let flop_count nl = List.length (Netlist.flops nl)
+
+let combinational_count nl =
+  Array.fold_left
+    (fun acc n ->
+      match n.Netlist.kind with
+      | Kind.Input | Kind.Output | Kind.Dff | Kind.Const _ -> acc
+      | _ -> acc + 1)
+    0 (Netlist.nodes nl)
+
+let flop_ratio nl =
+  let f = float_of_int (flop_count nl) in
+  let c = float_of_int (combinational_count nl) in
+  if f +. c = 0.0 then 0.0 else f /. (f +. c)
+
+let histogram nl =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun n ->
+      let k = Kind.name n.Netlist.kind in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    (Netlist.nodes nl);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,18 @@
+(** Netlist statistics in the units the paper reports: equivalent 2-input
+    NAND gates, flop ratios and kind histograms. *)
+
+val nand2_equivalents : Kind.t -> float
+(** Conventional gate-equivalent weight of a kind (a NAND2 is 1.0, an
+    inverter 0.5, a DFF 4.0, a 3-LUT 6.0, ...). *)
+
+val gate_count : Netlist.t -> float
+(** Total NAND2-equivalent count (primary I/O excluded). *)
+
+val flop_count : Netlist.t -> int
+val combinational_count : Netlist.t -> int
+val flop_ratio : Netlist.t -> float
+(** Flops / (flops + combinational gates): the datapath-vs-control signature
+    the paper's Firewire discussion turns on. *)
+
+val histogram : Netlist.t -> (string * int) list
+(** Gate-kind histogram, sorted descending by count. *)

@@ -1,0 +1,1 @@
+lib/pack/quadrisect.ml: Array Float List Vpga_logic Vpga_netlist Vpga_place Vpga_plb

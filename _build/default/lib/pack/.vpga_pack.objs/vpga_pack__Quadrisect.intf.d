@@ -1,0 +1,1 @@
+lib/pack/quadrisect.mli: Vpga_netlist Vpga_place Vpga_plb

@@ -1,0 +1,1 @@
+lib/pack/refine.ml: Array Fun List Quadrisect Random Vpga_netlist Vpga_place Vpga_plb

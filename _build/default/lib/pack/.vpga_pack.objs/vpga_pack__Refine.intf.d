@@ -1,0 +1,1 @@
+lib/pack/refine.mli: Quadrisect Vpga_place

@@ -1,0 +1,349 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Bfun = Vpga_logic.Bfun
+module Gates = Vpga_logic.Gates
+module Arch = Vpga_plb.Arch
+module Config = Vpga_plb.Config
+module Packer = Vpga_plb.Packer
+module Placement = Vpga_place.Placement
+
+type t = {
+  arch : Arch.t;
+  cols : int;
+  rows : int;
+  tile_of_node : int array;
+  displacement : float;
+  mean_displacement_tiles : float;
+  tiles_used : int;
+}
+
+let item_of_node node =
+  match node.Netlist.kind with
+  | Kind.Input | Kind.Output | Kind.Const _ -> None
+  | Kind.Dff -> Some { Packer.config = Config.Invb; pins = 1; flop = true }
+  | Kind.Buf | Kind.Inv ->
+      Some { Packer.config = Config.Invb; pins = 1; flop = false }
+  | Kind.Mapped { cell; fn } -> (
+      match Config.of_cell_name cell with
+      | Some c -> Some (Packer.item c fn)
+      | None ->
+          let cfg =
+            match cell with
+            | "buf" | "inv" -> Config.Invb
+            | "mux2" | "xoa" -> Config.Mx
+            | "lut3" -> Config.Lut
+            | "nd3wi" | "nd2wi" ->
+                if Bfun.support_size fn <= 2 then Config.Nd2 else Config.Nd3
+            | other ->
+                invalid_arg ("Quadrisect: unknown component cell " ^ other)
+          in
+          Some (Packer.item cfg fn))
+  | Kind.And2 | Kind.Or2 | Kind.Nand2 | Kind.Nor2 | Kind.Xor2 | Kind.Xnor2
+  | Kind.Mux2 | Kind.And3 | Kind.Or3 | Kind.Nand3 | Kind.Nor3 | Kind.Xor3
+  | Kind.Maj3 ->
+      invalid_arg "Quadrisect: netlist is not technology-mapped"
+
+(* The smallest resource vector an item can occupy (its preferred
+   alternative), used for the aggregate quadrant balance.  Pure flops
+   (registered pass-throughs) occupy only the flip-flop, accounted
+   separately. *)
+let min_demand arch item =
+  if item.Packer.flop && item.Packer.config = Config.Invb then
+    Arch.Vector.zero
+  else
+    match Config.demand arch item.Packer.config with
+    | [] -> Arch.Vector.zero
+    | d :: _ -> d
+
+type work_item = {
+  node : int;
+  item : Packer.item;
+  ix : float; (* original placement coordinates *)
+  iy : float;
+  crit : float;
+}
+
+let legalize ?(utilization = 0.9) ?criticality arch pl =
+  let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
+  let n = Netlist.size nl in
+  let crit id = match criticality with None -> 0.0 | Some c -> c.(id) in
+  let items =
+    List.filter_map
+      (fun node ->
+        match item_of_node node with
+        | None -> None
+        | Some item ->
+            let id = node.Netlist.id in
+            Some
+              {
+                node = id;
+                item;
+                ix = pl.Placement.x.(id);
+                iy = pl.Placement.y.(id);
+                crit = crit id;
+              })
+      (Array.to_list (Netlist.nodes nl))
+  in
+  (* Array sizing: lower bounds at the target utilization.
+     - per-resource, counting only items that need the resource in *every*
+       demand alternative (Mx may go to a MUX or the XOA, so it binds
+       neither individually);
+     - total combinational slots (every alternative occupies at least its
+       cheapest slot count);
+     - flops.
+     The growth loop below handles any residual infeasibility. *)
+  let pure_flop w =
+    w.item.Packer.flop && w.item.Packer.config = Config.Invb
+  in
+  let alternatives w =
+    if pure_flop w then [] else Config.demand arch w.item.Packer.config
+  in
+  let must_use r w =
+    match alternatives w with
+    | [] -> false
+    | alts -> List.for_all (fun d -> Arch.Vector.get d r > 0) alts
+  in
+  let count f = List.fold_left (fun acc w -> acc + if f w then 1 else 0) 0 items in
+  let ceil_div_util demand cap =
+    if cap <= 0 || demand <= 0 then 0
+    else
+      int_of_float
+        (ceil (float_of_int demand /. (float_of_int cap *. utilization)))
+  in
+  let resource_bound r =
+    ceil_div_util (count (must_use r)) (Arch.Vector.get arch.Arch.capacity r)
+  in
+  let slots w =
+    List.fold_left
+      (fun acc d -> min acc (Arch.Vector.total d))
+      max_int (alternatives w)
+  in
+  let comb_slots_demand =
+    List.fold_left
+      (fun acc w -> acc + (match alternatives w with [] -> 0 | _ -> slots w))
+      0 items
+  in
+  let comb_slots_cap =
+    List.fold_left
+      (fun acc r ->
+        if r = Arch.Ff then acc else acc + Arch.Vector.get arch.Arch.capacity r)
+      0 Arch.all_resources
+  in
+  let ff_bound =
+    ceil_div_util
+      (count (fun w -> w.item.Packer.flop))
+      (Arch.Vector.get arch.Arch.capacity Arch.Ff)
+  in
+  let min_tiles =
+    List.fold_left
+      (fun acc r -> max acc (resource_bound r))
+      (max 1 (max ff_bound (ceil_div_util comb_slots_demand comb_slots_cap)))
+      Arch.all_resources
+  in
+  let attempt dims =
+    let cols = dims and rows = dims in
+    let tile_w = pl.Placement.die_w /. float_of_int cols in
+    let tile_h = pl.Placement.die_h /. float_of_int rows in
+    let tile_index c r = (r * cols) + c in
+    (* Recursive quadrisection: fills (node -> tile) assignments. *)
+    let assignment = Array.make n (-1) in
+    let rec quadrise items c0 r0 c1 r1 =
+      if items = [] then ()
+      else if c1 - c0 = 1 && r1 - r0 = 1 then
+        List.iter (fun w -> assignment.(w.node) <- tile_index c0 r0) items
+      else begin
+        (* Split the region (vertical first when wider). *)
+        let cm = if c1 - c0 > 1 then (c0 + c1) / 2 else c1 in
+        let rm = if r1 - r0 > 1 then (r0 + r1) / 2 else r1 in
+        (* Quadrants: 0 = (c0..cm, r0..rm), 1 = (cm..c1, r0..rm),
+           2 = (c0..cm, rm..r1), 3 = (cm..c1, rm..r1); degenerate quadrants
+           (zero tiles) stay empty. *)
+        let bounds =
+          [|
+            (c0, r0, cm, rm); (cm, r0, c1, rm); (c0, rm, cm, r1); (cm, rm, c1, r1);
+          |]
+        in
+        let tiles_in (a, b, c, d) = max 0 (c - a) * max 0 (d - b) in
+        let quad_of w =
+          let qc =
+            if cm >= c1 then 0
+            else if w.ix >= float_of_int cm *. tile_w then 1
+            else 0
+          in
+          let qr =
+            if rm >= r1 then 0
+            else if w.iy >= float_of_int rm *. tile_h then 1
+            else 0
+          in
+          (qr * 2) + qc
+        in
+        let quads = Array.make 4 [] in
+        List.iter (fun w -> quads.(quad_of w) <- w :: quads.(quad_of w)) items;
+        (* Balance each resource across quadrants. *)
+        let demand_of q =
+          List.fold_left
+            (fun acc w ->
+              Arch.Vector.add acc
+                (Arch.Vector.add (min_demand arch w.item)
+                   (if w.item.Packer.flop then
+                      Arch.Vector.of_list [ (Arch.Ff, 1) ]
+                    else Arch.Vector.zero)))
+            Arch.Vector.zero quads.(q)
+        in
+        let cap_of q =
+          let tiles = tiles_in bounds.(q) in
+          float_of_int tiles
+        in
+        List.iter
+          (fun res ->
+            let cap_per_tile = Arch.Vector.get arch.Arch.capacity res in
+            if cap_per_tile > 0 then begin
+              let cap q =
+                int_of_float (cap_of q) * cap_per_tile
+              in
+              let over q = Arch.Vector.get (demand_of q) res - cap q in
+              (* Move least-critical users of [res] out of overfull
+                 quadrants into the emptiest sibling. *)
+              let rec drain q guard =
+                if guard > 0 && over q > 0 then begin
+                  let users =
+                    List.filter
+                      (fun w ->
+                        Arch.Vector.get (min_demand arch w.item) res > 0
+                        || (res = Arch.Ff && w.item.Packer.flop))
+                      quads.(q)
+                  in
+                  match
+                    List.sort
+                      (fun a b -> Float.compare a.crit b.crit)
+                      users
+                  with
+                  | [] -> ()
+                  | w :: _ ->
+                      let dest =
+                        List.filter (fun q2 -> q2 <> q && cap q2 > 0)
+                          [ 0; 1; 2; 3 ]
+                        |> List.fold_left
+                             (fun best q2 ->
+                               match best with
+                               | None -> Some q2
+                               | Some b ->
+                                   if over q2 < over b then Some q2 else Some b)
+                             None
+                      in
+                      (match dest with
+                      | Some d when over d < 0 ->
+                          quads.(q) <- List.filter (fun u -> u != w) quads.(q);
+                          quads.(d) <- w :: quads.(d)
+                      | Some _ | None -> ());
+                      drain q (guard - 1)
+                end
+              in
+              List.iter (fun q -> drain q (List.length quads.(q))) [ 0; 1; 2; 3 ]
+            end)
+          Arch.all_resources;
+        Array.iteri
+          (fun q (a, b, c, d) ->
+            if tiles_in bounds.(q) > 0 then quadrise quads.(q) a b c d)
+          bounds
+      end
+    in
+    quadrise items 0 0 cols rows;
+    (* Exact per-tile feasibility with nearest-tile spill. *)
+    let tile_items = Array.make (cols * rows) [] in
+    let ok = ref true in
+    let fits_tile tile w =
+      Packer.fits arch (w.item :: List.map (fun u -> u.item) tile_items.(tile))
+    in
+    let place_or_spill w =
+      let home = assignment.(w.node) in
+      let hc = home mod cols and hr = home / cols in
+      let rec ring d =
+        if d > cols + rows then None
+        else begin
+          let candidates = ref [] in
+          for c = max 0 (hc - d) to min (cols - 1) (hc + d) do
+            for r = max 0 (hr - d) to min (rows - 1) (hr + d) do
+              if max (abs (c - hc)) (abs (r - hr)) = d then
+                candidates := tile_index c r :: !candidates
+            done
+          done;
+          match List.find_opt (fun t -> fits_tile t w) (List.rev !candidates) with
+          | Some t -> Some t
+          | None -> ring (d + 1)
+        end
+      in
+      let dest = if fits_tile home w then Some home else ring 1 in
+      match dest with
+      | Some t ->
+          tile_items.(t) <- w :: tile_items.(t);
+          assignment.(w.node) <- t
+      | None -> ok := false
+    in
+    (* Critical items first so they keep their preferred tiles. *)
+    let ordered =
+      List.sort (fun a b -> Float.compare b.crit a.crit) items
+    in
+    List.iter place_or_spill ordered;
+    if not !ok then None
+    else begin
+      let displacement =
+        List.fold_left
+          (fun acc w ->
+            let t = assignment.(w.node) in
+            let cx = (float_of_int (t mod cols) +. 0.5) *. tile_w in
+            let cy = (float_of_int (t / cols) +. 0.5) *. tile_h in
+            acc +. Float.hypot (cx -. w.ix) (cy -. w.iy))
+          0.0 items
+      in
+      let mean_displacement_tiles =
+        displacement
+        /. (Float.hypot tile_w tile_h *. float_of_int (max 1 (List.length items)))
+      in
+      let used =
+        Array.fold_left
+          (fun acc l -> if l = [] then acc else acc + 1)
+          0 tile_items
+      in
+      Some
+        {
+          arch;
+          cols;
+          rows;
+          tile_of_node = assignment;
+          displacement;
+          mean_displacement_tiles;
+          tiles_used = used;
+        }
+    end
+  in
+  let start_dims =
+    max 2 (int_of_float (ceil (sqrt (float_of_int min_tiles))))
+  in
+  let rec try_dims dims guard =
+    if guard = 0 then failwith "Quadrisect.legalize: could not fit design"
+    else
+      match attempt dims with
+      | Some t -> t
+      | None -> try_dims (dims + max 1 (dims / 8)) (guard - 1)
+  in
+  try_dims start_dims 12
+
+let array_area t =
+  float_of_int (t.cols * t.rows) *. t.arch.Arch.tile_area
+
+let tile_center t tile =
+  (* Tile geometry in the PLB array's own coordinate system. *)
+  let side = sqrt t.arch.Arch.tile_area in
+  ( (float_of_int (tile mod t.cols) +. 0.5) *. side,
+    (float_of_int (tile / t.cols) +. 0.5) *. side )
+
+let snap t pl =
+  Array.iteri
+    (fun id tile ->
+      if tile >= 0 then begin
+        let x, y = tile_center t tile in
+        pl.Placement.x.(id) <- x;
+        pl.Placement.y.(id) <- y
+      end)
+    t.tile_of_node

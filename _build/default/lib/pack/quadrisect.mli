@@ -1,0 +1,46 @@
+(** Legalization of an ASIC-style placement onto the regular PLB array by
+    recursive quadrisection (paper Section 3.1).
+
+    The die is a [cols x rows] array of PLB tiles.  Starting from the
+    detailed placement, items (logic configurations and flops) are assigned
+    to quadrants recursively; when a quadrant's resource demand exceeds its
+    tiles' aggregate capacity, the least critical items are relocated to the
+    sibling quadrant with the most spare capacity ("the cost function ...
+    takes into consideration the criticality of the cells being moved and
+    also tries to minimize perturbation").  A final per-tile pass enforces
+    exact co-location feasibility ({!Vpga_plb.Packer.fits}), spilling to the
+    nearest tile with room. *)
+
+type t = {
+  arch : Vpga_plb.Arch.t;
+  cols : int;
+  rows : int;
+  tile_of_node : int array;  (** netlist node id -> tile index, or -1 *)
+  displacement : float;  (** total movement from the ASIC placement, um *)
+  mean_displacement_tiles : float;
+      (** mean per-item movement in tile-diagonal units — the
+          architecture-comparable perturbation measure *)
+  tiles_used : int;  (** tiles holding at least one item *)
+}
+
+val item_of_node : Vpga_netlist.Netlist.node -> Vpga_plb.Packer.item option
+(** The packing item of a netlist node ([None] for I/O and constants).
+    Accepts configuration supernodes, component cells and flops. *)
+
+val legalize :
+  ?utilization:float ->
+  ?criticality:float array ->
+  Vpga_plb.Arch.t ->
+  Vpga_place.Placement.t ->
+  t
+(** Sizes a PLB array (target resource [utilization], default 0.9, growing
+    it if legalization needs room), then quadrisects.  Raises [Failure] only
+    if a design cannot fit even after growth retries. *)
+
+val array_area : t -> float
+(** [cols * rows * tile_area]: the flow-b die area. *)
+
+val tile_center : t -> int -> float * float
+val snap : t -> Vpga_place.Placement.t -> unit
+(** Move every packed node's coordinates to its tile center (the geometry
+    the router sees). *)

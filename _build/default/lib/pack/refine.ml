@@ -1,0 +1,170 @@
+module Netlist = Vpga_netlist.Netlist
+module Packer = Vpga_plb.Packer
+module Placement = Vpga_place.Placement
+
+type stats = { moves : int; accepted : int; initial_cost : float; final_cost : float }
+
+let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
+  let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
+  let n = Netlist.size nl in
+  let rng = Random.State.make [| seed |] in
+  let item_of = Array.make n None in
+  Array.iter
+    (fun node -> item_of.(node.Netlist.id) <- Quadrisect.item_of_node node)
+    (Netlist.nodes nl);
+  let packed =
+    Array.of_list
+      (List.filter
+         (fun id -> q.Quadrisect.tile_of_node.(id) >= 0 && item_of.(id) <> None)
+         (List.init n Fun.id))
+  in
+  let n_packed = Array.length packed in
+  if n_packed = 0 then
+    { moves = 0; accepted = 0; initial_cost = 0.0; final_cost = 0.0 }
+  else begin
+    let cols = q.Quadrisect.cols and rows = q.Quadrisect.rows in
+    let members = Array.make (cols * rows) [] in
+    Array.iter
+      (fun id ->
+        let t = q.Quadrisect.tile_of_node.(id) in
+        members.(t) <- id :: members.(t))
+      packed;
+    let items_of tile = List.filter_map (fun id -> item_of.(id)) members.(tile) in
+    (* Net bookkeeping (criticality-weighted HPWL), as in the annealer. *)
+    let nets = Placement.nets_with_io pl in
+    let crit id = match criticality with None -> 0.0 | Some c -> c.(id) in
+    let weight =
+      Array.map
+        (fun net ->
+          1.0 +. (3.0 *. Array.fold_left (fun a id -> max a (crit id)) 0.0 net))
+        nets
+    in
+    let deg = Array.make n 0 in
+    Array.iter (fun net -> Array.iter (fun id -> deg.(id) <- deg.(id) + 1) net) nets;
+    let incident = Array.init n (fun id -> Array.make deg.(id) 0) in
+    let fill = Array.make n 0 in
+    Array.iteri
+      (fun e net ->
+        Array.iter
+          (fun id ->
+            incident.(id).(fill.(id)) <- e;
+            fill.(id) <- fill.(id) + 1)
+          net)
+      nets;
+    let net_cost =
+      Array.mapi (fun e net -> weight.(e) *. Placement.net_hpwl pl net) nets
+    in
+    let total = ref (Array.fold_left ( +. ) 0.0 net_cost) in
+    let initial_cost = !total in
+    let delta_of touched =
+      List.fold_left
+        (fun acc e ->
+          acc +. ((weight.(e) *. Placement.net_hpwl pl nets.(e)) -. net_cost.(e)))
+        0.0 touched
+    in
+    let commit touched =
+      List.iter
+        (fun e -> net_cost.(e) <- weight.(e) *. Placement.net_hpwl pl nets.(e))
+        touched
+    in
+    let touched_of ids =
+      List.sort_uniq compare
+        (List.concat_map (fun id -> Array.to_list incident.(id)) ids)
+    in
+    let set_tile id tile =
+      let old = q.Quadrisect.tile_of_node.(id) in
+      members.(old) <- List.filter (fun u -> u <> id) members.(old);
+      members.(tile) <- id :: members.(tile);
+      q.Quadrisect.tile_of_node.(id) <- tile;
+      let x, y = Quadrisect.tile_center q tile in
+      pl.Placement.x.(id) <- x;
+      pl.Placement.y.(id) <- y
+    in
+    let iterations =
+      match iterations with Some i -> i | None -> 60 * n_packed
+    in
+    let t_start =
+      max 1.0 (initial_cost /. float_of_int (max 1 (Array.length nets)))
+    in
+    let t_end = t_start /. 1000.0 in
+    let alpha = exp (log (t_end /. t_start) /. float_of_int (max 1 iterations)) in
+    let temp = ref t_start in
+    let accepted = ref 0 in
+    for _ = 1 to iterations do
+      let id = packed.(Random.State.int rng n_packed) in
+      let cur = q.Quadrisect.tile_of_node.(id) in
+      let cc = cur mod cols and cr = cur / cols in
+      let dc = Random.State.int rng ((2 * radius) + 1) - radius in
+      let dr = Random.State.int rng ((2 * radius) + 1) - radius in
+      let nc = min (cols - 1) (max 0 (cc + dc)) in
+      let nr = min (rows - 1) (max 0 (cr + dr)) in
+      let dest = (nr * cols) + nc in
+      if dest <> cur then begin
+        let item = match item_of.(id) with Some i -> i | None -> assert false in
+        (* Try a plain move; if the destination is full, try swapping with a
+           random resident. *)
+        let try_swap_with =
+          if Packer.fits q.Quadrisect.arch (item :: items_of dest) then None
+          else
+            match members.(dest) with
+            | [] -> Some (-1) (* nothing to swap; give up *)
+            | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+        in
+        let apply () =
+          match try_swap_with with
+          | None ->
+              set_tile id dest;
+              Some [ id ]
+          | Some other when other >= 0 ->
+              let other_item =
+                match item_of.(other) with Some i -> i | None -> assert false
+              in
+              let dest_without =
+                List.filter_map
+                  (fun u -> if u = other then None else item_of.(u))
+                  members.(dest)
+              in
+              let cur_without =
+                List.filter_map
+                  (fun u -> if u = id then None else item_of.(u))
+                  members.(cur)
+              in
+              if
+                Packer.fits q.Quadrisect.arch (item :: dest_without)
+                && Packer.fits q.Quadrisect.arch (other_item :: cur_without)
+              then begin
+                set_tile id dest;
+                set_tile other cur;
+                Some [ id; other ]
+              end
+              else None
+          | Some _ -> None
+        in
+        match apply () with
+        | None -> ()
+        | Some moved ->
+            let touched = touched_of moved in
+            let d = delta_of touched in
+            let accept =
+              d <= 0.0
+              || Random.State.float rng 1.0 < exp (-.d /. max 1e-9 !temp)
+            in
+            if accept then begin
+              commit touched;
+              total := !total +. d;
+              incr accepted
+            end
+            else begin
+              (* undo *)
+              match moved with
+              | [ only ] -> set_tile only cur
+              | [ a; b ] ->
+                  set_tile a cur;
+                  set_tile b dest
+              | _ -> assert false
+            end
+      end;
+      temp := !temp *. alpha
+    done;
+    { moves = iterations; accepted = !accepted; initial_cost; final_cost = !total }
+  end

@@ -1,0 +1,25 @@
+(** Post-legalization refinement: the paper's iterative loop between the
+    packing step and physical synthesis ("the packing algorithm [runs] in an
+    iterative loop with the physical synthesis tool Dolphin ... It ensures
+    that the performance degradation due to legalizing the ASIC-style
+    placement is minimal").
+
+    Simulated annealing over tile assignments: single-item moves to nearby
+    tiles and item swaps, accepted only when the destination tiles remain
+    feasible ({!Vpga_plb.Packer.fits}), minimizing criticality-weighted
+    half-perimeter wirelength.  Mutates the quadrisection result and the
+    snapped placement coordinates in place. *)
+
+type stats = { moves : int; accepted : int; initial_cost : float; final_cost : float }
+
+val run :
+  ?iterations:int ->
+  ?radius:int ->
+  ?criticality:float array ->
+  seed:int ->
+  Quadrisect.t ->
+  Vpga_place.Placement.t ->
+  stats
+(** [run ~seed q pl] — [pl] must already be snapped to [q]'s tile grid;
+    [radius] (default 4) bounds how far (in tiles) a single move may go;
+    [iterations] defaults to [60 * packed items]. *)

@@ -1,0 +1,1 @@
+lib/place/anneal.ml: Array Hypergraph List Placement Random

@@ -1,0 +1,1 @@
+lib/place/anneal.mli: Placement

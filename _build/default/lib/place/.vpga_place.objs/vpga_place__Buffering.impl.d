@@ -1,0 +1,1 @@
+lib/place/buffering.ml: Array List Option Printf Vpga_logic Vpga_netlist

@@ -1,0 +1,1 @@
+lib/place/buffering.mli: Vpga_netlist

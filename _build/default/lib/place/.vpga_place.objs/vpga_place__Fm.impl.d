@@ -1,0 +1,1 @@
+lib/place/fm.ml: Array Fun List Random

@@ -1,0 +1,1 @@
+lib/place/global.ml: Array Fm Fun Hypergraph List Placement Random

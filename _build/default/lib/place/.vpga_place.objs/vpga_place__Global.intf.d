@@ -1,0 +1,1 @@
+lib/place/global.mli: Placement

@@ -1,0 +1,1 @@
+lib/place/hypergraph.ml: Array List Vpga_mapper Vpga_netlist

@@ -1,0 +1,1 @@
+lib/place/hypergraph.mli: Vpga_netlist

@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Hypergraph List Random Vpga_netlist

@@ -1,0 +1,1 @@
+lib/place/placement.mli: Hypergraph Vpga_netlist

@@ -1,0 +1,136 @@
+type stats = {
+  initial_cost : float;
+  final_cost : float;
+  moves : int;
+  accepted : int;
+}
+
+let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
+  let g = pl.Placement.graph in
+  let movable = g.Hypergraph.node_of_vertex in
+  let n_cells = Array.length movable in
+  let nets = Placement.nets_with_io pl in
+  let n_nodes = Array.length pl.Placement.x in
+  if n_cells = 0 then
+    { initial_cost = 0.0; final_cost = 0.0; moves = 0; accepted = 0 }
+  else begin
+    let rng = Random.State.make [| seed |] in
+    (* Net weights: critical nets count more. *)
+    let crit id =
+      match criticality with None -> 0.0 | Some c -> c.(id)
+    in
+    let weight =
+      Array.map
+        (fun net -> 1.0 +. (3.0 *. Array.fold_left (fun a id -> max a (crit id)) 0.0 net))
+        nets
+    in
+    (* Incidence: node id -> net indices. *)
+    let deg = Array.make n_nodes 0 in
+    Array.iter (fun net -> Array.iter (fun id -> deg.(id) <- deg.(id) + 1) net) nets;
+    let incident = Array.init n_nodes (fun id -> Array.make deg.(id) 0) in
+    let fill = Array.make n_nodes 0 in
+    Array.iteri
+      (fun e net ->
+        Array.iter
+          (fun id ->
+            incident.(id).(fill.(id)) <- e;
+            fill.(id) <- fill.(id) + 1)
+          net)
+      nets;
+    let net_cost = Array.mapi (fun e net -> weight.(e) *. Placement.net_hpwl pl net) nets in
+    let total = ref (Array.fold_left ( +. ) 0.0 net_cost) in
+    let initial_cost = !total in
+    let iterations =
+      match iterations with Some i -> i | None -> 100 * n_cells
+    in
+    let t_start =
+      if t_start > 0.0 then t_start
+      else max 1.0 (initial_cost /. float_of_int (max 1 (Array.length nets)))
+    in
+    let t_end = if t_end > 0.0 then t_end else t_start /. 1000.0 in
+    let alpha =
+      exp (log (t_end /. t_start) /. float_of_int (max 1 iterations))
+    in
+    let temp = ref t_start in
+    let accepted = ref 0 in
+    (* Recompute the cost delta of the nets touching the given nodes. *)
+    let delta_of touched =
+      List.fold_left
+        (fun acc e ->
+          let fresh = weight.(e) *. Placement.net_hpwl pl nets.(e) in
+          acc +. (fresh -. net_cost.(e)))
+        0.0 touched
+    in
+    let commit touched =
+      List.iter
+        (fun e -> net_cost.(e) <- weight.(e) *. Placement.net_hpwl pl nets.(e))
+        touched
+    in
+    let touched_of ids =
+      List.sort_uniq compare
+        (List.concat_map (fun id -> Array.to_list incident.(id)) ids)
+    in
+    let window_w = ref (pl.Placement.die_w /. 2.0) in
+    let window_h = ref (pl.Placement.die_h /. 2.0) in
+    for step = 1 to iterations do
+      let id = movable.(Random.State.int rng n_cells) in
+      let swap = Random.State.bool rng && n_cells > 1 in
+      let ox = pl.Placement.x.(id) and oy = pl.Placement.y.(id) in
+      let other =
+        if swap then
+          let id2 = movable.(Random.State.int rng n_cells) in
+          if id2 <> id then
+            Some (id2, pl.Placement.x.(id2), pl.Placement.y.(id2))
+          else None
+        else None
+      in
+      (match other with
+      | Some (id2, ox2, oy2) ->
+          pl.Placement.x.(id) <- ox2;
+          pl.Placement.y.(id) <- oy2;
+          pl.Placement.x.(id2) <- ox;
+          pl.Placement.y.(id2) <- oy
+      | None ->
+          let clamp v lo hi = max lo (min hi v) in
+          pl.Placement.x.(id) <-
+            clamp (ox +. Random.State.float rng (2.0 *. !window_w) -. !window_w)
+              0.0 pl.Placement.die_w;
+          pl.Placement.y.(id) <-
+            clamp (oy +. Random.State.float rng (2.0 *. !window_h) -. !window_h)
+              0.0 pl.Placement.die_h);
+      let ids =
+        match other with Some (id2, _, _) -> [ id; id2 ] | None -> [ id ]
+      in
+      let touched = touched_of ids in
+      let d = delta_of touched in
+      let accept =
+        d <= 0.0
+        || Random.State.float rng 1.0 < exp (-.d /. max 1e-9 !temp)
+      in
+      if accept then begin
+        commit touched;
+        total := !total +. d;
+        incr accepted
+      end
+      else begin
+        pl.Placement.x.(id) <- ox;
+        pl.Placement.y.(id) <- oy;
+        match other with
+        | Some (id2, ox2, oy2) ->
+            pl.Placement.x.(id2) <- ox2;
+            pl.Placement.y.(id2) <- oy2
+        | None -> ()
+      end;
+      temp := !temp *. alpha;
+      if step mod (max 1 (iterations / 20)) = 0 then begin
+        window_w := max (pl.Placement.die_w /. 50.0) (!window_w *. 0.8);
+        window_h := max (pl.Placement.die_h /. 50.0) (!window_h *. 0.8)
+      end
+    done;
+    {
+      initial_cost;
+      final_cost = !total;
+      moves = iterations;
+      accepted = !accepted;
+    }
+  end

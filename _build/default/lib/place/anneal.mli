@@ -1,0 +1,21 @@
+(** Timing-aware simulated-annealing detailed placement.
+
+    Refines a global placement by random cell displacements and swaps under a
+    geometric cooling schedule.  The cost is total HPWL, with nets on
+    timing-critical paths weighted up when a criticality map is supplied
+    (the "cost function [that] takes into consideration the criticality of
+    the cells" of the paper's packing/physical-synthesis loop). *)
+
+type stats = { initial_cost : float; final_cost : float; moves : int; accepted : int }
+
+val refine :
+  ?iterations:int ->
+  ?t_start:float ->
+  ?t_end:float ->
+  ?criticality:float array ->
+  seed:int ->
+  Placement.t ->
+  stats
+(** Mutates cell coordinates.  [iterations] defaults to [100 * cells];
+    [criticality] is a per-node weight in [0,1] (nets driven by critical
+    nodes cost more).  Deterministic for a fixed seed. *)

@@ -1,0 +1,82 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Bfun = Vpga_logic.Bfun
+
+let max_structural_fanout nl =
+  Array.fold_left
+    (fun acc sinks -> max acc (Array.length sinks))
+    0 (Netlist.fanout nl)
+
+let buf_kind = Kind.Mapped { cell = "buf"; fn = Bfun.var ~arity:1 0 }
+
+let insert ~max_fanout nl =
+  if max_fanout < 1 then invalid_arg "Buffering.insert: max_fanout < 1";
+  let fanout = Netlist.fanout nl in
+  let dst = Netlist.create ~name:(Netlist.design_name nl) () in
+  let n = Netlist.size nl in
+  (* Per source node: the list of tap nodes in [dst] and a running sink
+     counter; sink [c] reads tap [c / max_fanout]. *)
+  let taps = Array.make n [||] in
+  let used = Array.make n 0 in
+  (* [make_taps v n] creates [n] buffers ultimately driven by [v], as a tree
+     in which no driver (including [v]) exceeds [max_fanout]. *)
+  let rec make_taps v n =
+    if n <= max_fanout then
+      List.init n (fun _ -> Netlist.gate dst buf_kind [| v |])
+    else begin
+      let parents = make_taps v ((n + max_fanout - 1) / max_fanout) in
+      List.concat
+        (List.mapi
+           (fun k p ->
+             let lo = k * max_fanout in
+             let cnt = min max_fanout (n - lo) in
+             List.init (max 0 cnt) (fun _ -> Netlist.gate dst buf_kind [| p |]))
+           parents)
+    end
+  in
+  let register i v =
+    let f = Array.length fanout.(i) in
+    if f <= max_fanout then taps.(i) <- [| v |]
+    else
+      let k = (f + max_fanout - 1) / max_fanout in
+      taps.(i) <- Array.of_list (make_taps v k)
+  in
+  let tap i =
+    let idx = min (used.(i) / max_fanout) (Array.length taps.(i) - 1) in
+    used.(i) <- used.(i) + 1;
+    taps.(i).(idx)
+  in
+  let new_id = Array.make n (-1) in
+  List.iter
+    (fun i ->
+      let name = Option.value ~default:(Printf.sprintf "pi%d" i)
+          (Netlist.node nl i).Netlist.name in
+      new_id.(i) <- Netlist.input dst name;
+      register i new_id.(i))
+    (Netlist.inputs nl);
+  List.iter
+    (fun i ->
+      new_id.(i) <- Netlist.dff ?name:(Netlist.node nl i).Netlist.name dst;
+      register i new_id.(i))
+    (Netlist.flops nl);
+  for i = 0 to n - 1 do
+    let node = Netlist.node nl i in
+    match node.Netlist.kind with
+    | Kind.Input | Kind.Dff | Kind.Output -> ()
+    | k ->
+        let fanins = Array.map tap node.Netlist.fanins in
+        new_id.(i) <- Netlist.gate dst k fanins;
+        register i new_id.(i)
+  done;
+  List.iter
+    (fun f ->
+      let d = (Netlist.node nl f).Netlist.fanins.(0) in
+      Netlist.connect dst ~flop:new_id.(f) ~d:(tap d))
+    (Netlist.flops nl);
+  List.iter
+    (fun o ->
+      let node = Netlist.node nl o in
+      let name = Option.value ~default:(Printf.sprintf "po%d" o) node.Netlist.name in
+      ignore (Netlist.output dst name (tap node.Netlist.fanins.(0))))
+    (Netlist.outputs nl);
+  dst

@@ -1,0 +1,13 @@
+(** Fanout buffering — the netlist-side half of physical synthesis ("buffer
+    insertion ... to meet timing constraints", paper Section 3.1).
+
+    Nets whose fanout exceeds the limit get a star of buffers after the
+    driver, each serving at most [max_fanout] sinks, bounding the load any
+    single component cell must drive. *)
+
+val insert : max_fanout:int -> Vpga_netlist.Netlist.t -> Vpga_netlist.Netlist.t
+(** Equivalent netlist where every driver (gate, flop or primary input)
+    drives at most [max_fanout] sinks.  Inserted buffers are
+    [Mapped {cell = "buf"}] cells. *)
+
+val max_structural_fanout : Vpga_netlist.Netlist.t -> int

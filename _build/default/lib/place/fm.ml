@@ -1,0 +1,210 @@
+type result = { side : bool array; cut : int }
+
+let cut_size nets side =
+  Array.fold_left
+    (fun acc net ->
+      let l = Array.exists (fun v -> not side.(v)) net in
+      let r = Array.exists (fun v -> side.(v)) net in
+      if l && r then acc + 1 else acc)
+    0 nets
+
+(* Gain buckets are doubly linked lists indexed by gain offset, rebuilt per
+   FM pass; see inside [run]. *)
+let run ?(passes = 8) ?(balance = 0.55) ~seed ~nets ~areas n =
+  let rng = Random.State.make [| seed |] in
+  let total_area = Array.fold_left ( +. ) 0.0 areas in
+  (* Allow at least one largest-cell of slack, or no move is ever legal. *)
+  let max_cell = Array.fold_left max 0.0 areas in
+  let max_side = max (balance *. total_area) ((total_area /. 2.0) +. max_cell) in
+  (* incidence *)
+  let deg = Array.make n 0 in
+  Array.iter (fun net -> Array.iter (fun v -> deg.(v) <- deg.(v) + 1) net) nets;
+  let incident = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun e net ->
+      Array.iter
+        (fun v ->
+          incident.(v).(fill.(v)) <- e;
+          fill.(v) <- fill.(v) + 1)
+        net)
+    nets;
+  let max_deg = Array.fold_left max 1 deg in
+  (* random balanced initial partition: shuffle, greedily fill left to half *)
+  let side = Array.make n false in
+  let order = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  let acc = ref 0.0 in
+  Array.iter
+    (fun v ->
+      if !acc > total_area /. 2.0 then side.(v) <- true
+      else acc := !acc +. areas.(v))
+    order;
+  let area_of = [| ref 0.0; ref 0.0 |] in
+  let side_idx v = if side.(v) then 1 else 0 in
+  let recompute_areas () =
+    area_of.(0) := 0.0;
+    area_of.(1) := 0.0;
+    for v = 0 to n - 1 do
+      let a = area_of.(side_idx v) in
+      a := !a +. areas.(v)
+    done
+  in
+  recompute_areas ();
+  (* Per-net side counts. *)
+  let count = Array.map (fun _ -> [| 0; 0 |]) nets in
+  let recount () =
+    Array.iteri
+      (fun e net ->
+        count.(e).(0) <- 0;
+        count.(e).(1) <- 0;
+        Array.iter
+          (fun v -> count.(e).(side_idx v) <- count.(e).(side_idx v) + 1)
+          net)
+      nets
+  in
+  let compute_gain v =
+    let from = side_idx v and dest = 1 - side_idx v in
+    Array.fold_left
+      (fun g e ->
+        let g = if count.(e).(from) = 1 then g + 1 else g in
+        if count.(e).(dest) = 0 then g - 1 else g)
+      0 incident.(v)
+  in
+  (* gain buckets *)
+  let heads = Array.make ((2 * max_deg) + 1) (-1) in
+  let nxt = Array.make n (-1) and prv = Array.make n (-1) in
+  let gain = Array.make n 0 in
+  let in_bucket = Array.make n false in
+  let slot g = g + max_deg in
+  let bucket_insert v =
+    let s = slot gain.(v) in
+    nxt.(v) <- heads.(s);
+    prv.(v) <- -1;
+    if heads.(s) >= 0 then prv.(heads.(s)) <- v;
+    heads.(s) <- v;
+    in_bucket.(v) <- true
+  in
+  let bucket_remove v =
+    if in_bucket.(v) then begin
+      let s = slot gain.(v) in
+      if prv.(v) >= 0 then nxt.(prv.(v)) <- nxt.(v) else heads.(s) <- nxt.(v);
+      if nxt.(v) >= 0 then prv.(nxt.(v)) <- prv.(v);
+      in_bucket.(v) <- false
+    end
+  in
+  let update_gain v delta =
+    if in_bucket.(v) then begin
+      bucket_remove v;
+      gain.(v) <- gain.(v) + delta;
+      bucket_insert v
+    end
+    else gain.(v) <- gain.(v) + delta
+  in
+  let pick () =
+    (* highest-gain movable vertex that keeps balance *)
+    let rec scan s =
+      if s < 0 then -1
+      else begin
+        let rec walk v =
+          if v < 0 then -1
+          else
+            let dest = 1 - side_idx v in
+            if !(area_of.(dest)) +. areas.(v) <= max_side then v else walk nxt.(v)
+        in
+        match walk heads.(s) with -1 -> scan (s - 1) | v -> v
+      end
+    in
+    scan (2 * max_deg)
+  in
+  let best_cut = ref (cut_size nets side) in
+  let pass () =
+    recount ();
+    Array.fill heads 0 (Array.length heads) (-1);
+    for v = 0 to n - 1 do
+      gain.(v) <- compute_gain v;
+      in_bucket.(v) <- false
+    done;
+    for v = 0 to n - 1 do
+      bucket_insert v
+    done;
+    let moves = ref [] in
+    let cur_cut = ref (cut_size nets side) in
+    let best_prefix = ref 0 and best_prefix_cut = ref !cur_cut in
+    let n_moves = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match pick () with
+      | -1 -> continue := false
+      | v ->
+          bucket_remove v;
+          let from = side_idx v in
+          let dest = 1 - from in
+          cur_cut := !cur_cut - gain.(v);
+          (* incremental gain updates, standard FM *)
+          Array.iter
+            (fun e ->
+              let c = count.(e) in
+              (* before the move *)
+              if c.(dest) = 0 then
+                Array.iter
+                  (fun u -> if u <> v && in_bucket.(u) then update_gain u 1)
+                  nets.(e)
+              else if c.(dest) = 1 then
+                Array.iter
+                  (fun u ->
+                    if u <> v && in_bucket.(u) && side_idx u = dest then
+                      update_gain u (-1))
+                  nets.(e);
+              c.(from) <- c.(from) - 1;
+              c.(dest) <- c.(dest) + 1;
+              (* after the move *)
+              if c.(from) = 0 then
+                Array.iter
+                  (fun u -> if u <> v && in_bucket.(u) then update_gain u (-1))
+                  nets.(e)
+              else if c.(from) = 1 then
+                Array.iter
+                  (fun u ->
+                    if u <> v && in_bucket.(u) && side_idx u = from then
+                      update_gain u 1)
+                  nets.(e))
+            incident.(v);
+          let af = area_of.(from) and ad = area_of.(dest) in
+          af := !af -. areas.(v);
+          ad := !ad +. areas.(v);
+          side.(v) <- not side.(v);
+          moves := v :: !moves;
+          incr n_moves;
+          if !cur_cut < !best_prefix_cut then begin
+            best_prefix_cut := !cur_cut;
+            best_prefix := !n_moves
+          end
+    done;
+    (* roll back moves beyond the best prefix *)
+    let all_moves = List.rev !moves in
+    List.iteri
+      (fun i v ->
+        if i >= !best_prefix then begin
+          side.(v) <- not side.(v)
+        end)
+      all_moves;
+    recompute_areas ();
+    !best_prefix_cut
+  in
+  let rec iterate remaining =
+    if remaining > 0 then begin
+      let c = pass () in
+      if c < !best_cut then begin
+        best_cut := c;
+        iterate (remaining - 1)
+      end
+    end
+  in
+  iterate passes;
+  { side; cut = cut_size nets side }

@@ -1,0 +1,18 @@
+(** Fiduccia–Mattheyses bipartitioning with gain buckets — the kernel of the
+    recursive min-cut global placer. *)
+
+type result = {
+  side : bool array;  (** per-vertex: false = left, true = right *)
+  cut : int;  (** hyperedges spanning both sides *)
+}
+
+val cut_size : int array array -> bool array -> int
+(** Cut of a partition under the given nets. *)
+
+val run :
+  ?passes:int -> ?balance:float -> seed:int ->
+  nets:int array array -> areas:float array -> int -> result
+(** [run ~seed ~nets ~areas n] bipartitions vertices [0..n-1] minimizing net
+    cut, keeping each side's area within [balance] (default 0.55) of the
+    total.  Starts from a seeded random balanced partition and applies up to
+    [passes] (default 8) FM passes. *)

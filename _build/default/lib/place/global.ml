@@ -1,0 +1,76 @@
+let place ?(min_bin = 8) ~seed pl =
+  let g = pl.Placement.graph in
+  let n = Hypergraph.num_vertices g in
+  let rng = Random.State.make [| seed |] in
+  (* Scratch: global vertex id -> local index in the current region. *)
+  let local = Array.make n (-1) in
+  (* [vertices] and [nets] use global vertex ids; nets are pre-filtered to
+     this region, so total work is O(net size * depth). *)
+  let rec split vertices nets x0 y0 x1 y1 vertical =
+    let k = Array.length vertices in
+    if k = 0 then ()
+    else if k <= min_bin then
+      Array.iter
+        (fun v ->
+          let id = g.Hypergraph.node_of_vertex.(v) in
+          pl.Placement.x.(id) <- x0 +. Random.State.float rng (max 1e-6 (x1 -. x0));
+          pl.Placement.y.(id) <- y0 +. Random.State.float rng (max 1e-6 (y1 -. y0)))
+        vertices
+    else begin
+      Array.iteri (fun i v -> local.(v) <- i) vertices;
+      let sub_nets =
+        List.filter_map
+          (fun net ->
+            let members =
+              Array.to_list net |> List.filter (fun v -> local.(v) >= 0)
+            in
+            match members with
+            | [] | [ _ ] -> None
+            | ms -> Some (Array.of_list (List.map (fun v -> local.(v)) ms)))
+          nets
+        |> Array.of_list
+      in
+      let areas = Array.map (fun v -> g.Hypergraph.vertex_area.(v)) vertices in
+      let r =
+        Fm.run ~seed:(Random.State.int rng 0x3FFFFFFF) ~nets:sub_nets ~areas k
+      in
+      let left = ref [] and right = ref [] in
+      Array.iteri
+        (fun i v ->
+          if r.Fm.side.(i) then right := v :: !right else left := v :: !left)
+        vertices;
+      let side_of v = r.Fm.side.(local.(v)) in
+      let left_nets = ref [] and right_nets = ref [] in
+      List.iter
+        (fun net ->
+          let lm = ref [] and rm = ref [] in
+          Array.iter
+            (fun v ->
+              if local.(v) >= 0 then
+                if side_of v then rm := v :: !rm else lm := v :: !lm)
+            net;
+          (match !lm with
+          | [] | [ _ ] -> ()
+          | ms -> left_nets := Array.of_list ms :: !left_nets);
+          match !rm with
+          | [] | [ _ ] -> ()
+          | ms -> right_nets := Array.of_list ms :: !right_nets)
+        nets;
+      (* Clear scratch before recursing (the children reuse it). *)
+      Array.iter (fun v -> local.(v) <- -1) vertices;
+      let left = Array.of_list !left and right = Array.of_list !right in
+      if vertical then begin
+        let xm = (x0 +. x1) /. 2.0 in
+        split left !left_nets x0 y0 xm y1 false;
+        split right !right_nets xm y0 x1 y1 false
+      end
+      else begin
+        let ym = (y0 +. y1) /. 2.0 in
+        split left !left_nets x0 y0 x1 ym true;
+        split right !right_nets x0 ym x1 y1 true
+      end
+    end
+  in
+  let all_nets = Array.to_list g.Hypergraph.nets in
+  split (Array.init n Fun.id) all_nets 0.0 0.0 pl.Placement.die_w
+    pl.Placement.die_h true

@@ -1,0 +1,9 @@
+(** Recursive min-cut global placement: FM bipartitioning alternating
+    vertical/horizontal cutlines down to small bins, then spreading each
+    bin's cells inside its region.  Produces the detailed-placement seed the
+    annealer refines — together they substitute for the paper's Dolphin
+    physical synthesis. *)
+
+val place : ?min_bin:int -> seed:int -> Placement.t -> unit
+(** Mutates the placement's cell coordinates.  [min_bin] (default 8) is the
+    number of cells below which a region stops splitting. *)

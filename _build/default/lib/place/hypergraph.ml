@@ -1,0 +1,50 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+type t = {
+  nl : Netlist.t;
+  vertex_of_node : int array;
+  node_of_vertex : int array;
+  nets : int array array;
+  vertex_area : float array;
+}
+
+let placeable n =
+  match n.Netlist.kind with
+  | Kind.Input | Kind.Output | Kind.Const _ -> false
+  | _ -> true
+
+let build nl =
+  let n = Netlist.size nl in
+  let vertex_of_node = Array.make n (-1) in
+  let node_ids = ref [] in
+  Array.iter
+    (fun node -> if placeable node then node_ids := node.Netlist.id :: !node_ids)
+    (Netlist.nodes nl);
+  let node_of_vertex = Array.of_list (List.rev !node_ids) in
+  Array.iteri (fun v id -> vertex_of_node.(id) <- v) node_of_vertex;
+  let fanout = Netlist.fanout nl in
+  let nets = ref [] in
+  Array.iteri
+    (fun id sinks ->
+      if vertex_of_node.(id) >= 0 then begin
+        let members =
+          vertex_of_node.(id)
+          :: List.filter_map
+               (fun s -> if vertex_of_node.(s) >= 0 then Some vertex_of_node.(s) else None)
+               (Array.to_list sinks)
+        in
+        let members = List.sort_uniq compare members in
+        if List.length members >= 2 then nets := Array.of_list members :: !nets
+      end)
+    fanout;
+  let vertex_area =
+    Array.map
+      (fun id -> Vpga_mapper.Techmap.cell_area_of_node (Netlist.node nl id))
+      node_of_vertex
+  in
+  { nl; vertex_of_node; node_of_vertex; nets = Array.of_list !nets; vertex_area }
+
+let num_vertices t = Array.length t.node_of_vertex
+let num_nets t = Array.length t.nets
+let total_area t = Array.fold_left ( +. ) 0.0 t.vertex_area

@@ -1,0 +1,18 @@
+(** Hypergraph view of a netlist for partitioning and placement: one vertex
+    per placeable node (gates and flops), one hyperedge per multi-terminal
+    net (a driver and its fanouts).  Primary I/O nodes become fixed terminals
+    rather than vertices. *)
+
+type t = {
+  nl : Vpga_netlist.Netlist.t;
+  vertex_of_node : int array;  (** node id -> vertex id or -1 *)
+  node_of_vertex : int array;
+  nets : int array array;  (** each net: member vertex ids (>= 2) *)
+  vertex_area : float array;
+}
+
+val build : Vpga_netlist.Netlist.t -> t
+
+val num_vertices : t -> int
+val num_nets : t -> int
+val total_area : t -> float

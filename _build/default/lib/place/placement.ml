@@ -1,0 +1,72 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+type t = {
+  graph : Hypergraph.t;
+  die_w : float;
+  die_h : float;
+  x : float array;
+  y : float array;
+}
+
+let die_of_area ?(utilization = 0.7) area =
+  let side = sqrt (area /. utilization) in
+  (side, side)
+
+let nets_with_io_of nl =
+  let fanout = Netlist.fanout nl in
+  let nets = ref [] in
+  Array.iteri
+    (fun id sinks ->
+      let node = Netlist.node nl id in
+      let drives =
+        match node.Netlist.kind with
+        | Kind.Output -> false (* output pads drive nothing *)
+        | Kind.Const _ -> false (* constants are tie-offs, not wires *)
+        | _ -> Array.length sinks > 0
+      in
+      if drives then nets := Array.append [| id |] sinks :: !nets)
+    fanout;
+  Array.of_list !nets
+
+let create ?utilization nl =
+  let graph = Hypergraph.build nl in
+  let die_w, die_h = die_of_area ?utilization (Hypergraph.total_area graph) in
+  let n = Netlist.size nl in
+  let x = Array.make n (die_w /. 2.0) and y = Array.make n (die_h /. 2.0) in
+  let spread ids x0 =
+    let k = List.length ids in
+    List.iteri
+      (fun i id ->
+        x.(id) <- x0;
+        y.(id) <- die_h *. (float_of_int (i + 1) /. float_of_int (k + 1)))
+      ids
+  in
+  spread (Netlist.inputs nl) 0.0;
+  spread (Netlist.outputs nl) die_w;
+  { graph; die_w; die_h; x; y }
+
+let net_hpwl t net =
+  let minx = ref infinity and maxx = ref neg_infinity in
+  let miny = ref infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun id ->
+      if t.x.(id) < !minx then minx := t.x.(id);
+      if t.x.(id) > !maxx then maxx := t.x.(id);
+      if t.y.(id) < !miny then miny := t.y.(id);
+      if t.y.(id) > !maxy then maxy := t.y.(id))
+    net;
+  !maxx -. !minx +. (!maxy -. !miny)
+
+let nets_with_io t = nets_with_io_of t.graph.Hypergraph.nl
+
+let hpwl t =
+  Array.fold_left (fun acc net -> acc +. net_hpwl t net) 0.0 (nets_with_io t)
+
+let scatter ~seed t =
+  let rng = Random.State.make [| seed |] in
+  Array.iter
+    (fun id ->
+      t.x.(id) <- Random.State.float rng t.die_w;
+      t.y.(id) <- Random.State.float rng t.die_h)
+    t.graph.Hypergraph.node_of_vertex

@@ -1,0 +1,33 @@
+(** A placement: coordinates (um) for every netlist node on a die.
+
+    Placeable cells live inside the core; primary inputs/outputs sit on the
+    die boundary (left/right edges respectively, evenly spread). *)
+
+type t = {
+  graph : Hypergraph.t;
+  die_w : float;
+  die_h : float;
+  x : float array;  (** per netlist node id *)
+  y : float array;
+}
+
+val die_of_area : ?utilization:float -> float -> float * float
+(** Square die sized so the given cell area fits at [utilization]
+    (default 0.7, a typical standard-cell row utilization). *)
+
+val create : ?utilization:float -> Vpga_netlist.Netlist.t -> t
+(** Builds the hypergraph, sizes the die and pins I/O to the boundary; cell
+    coordinates start at the die center. *)
+
+val net_hpwl : t -> int array -> float
+(** Half-perimeter wirelength of one net given as netlist node ids. *)
+
+val hpwl : t -> float
+(** Total half-perimeter wirelength over all nets (I/O included). *)
+
+val nets_with_io : t -> int array array
+(** Nets as netlist-node-id arrays, including I/O terminals (used by HPWL,
+    annealing and routing). *)
+
+val scatter : seed:int -> t -> unit
+(** Uniform random cell coordinates (baseline / annealing start). *)

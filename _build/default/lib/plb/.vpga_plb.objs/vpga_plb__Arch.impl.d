@@ -1,0 +1,1 @@
+lib/plb/arch.ml: Format List Printf String Vpga_cells

@@ -1,0 +1,1 @@
+lib/plb/arch.mli: Format Vpga_cells

@@ -1,0 +1,1 @@
+lib/plb/config.ml: Arch Format Hashtbl Lazy List String Vpga_cells Vpga_logic

@@ -1,0 +1,1 @@
+lib/plb/config.mli: Arch Format Vpga_cells Vpga_logic

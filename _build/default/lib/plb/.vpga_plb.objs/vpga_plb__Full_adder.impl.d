@@ -1,0 +1,1 @@
+lib/plb/full_adder.ml: Arch Config Packer Vpga_logic Vpga_netlist

@@ -1,0 +1,1 @@
+lib/plb/full_adder.mli: Arch Packer Vpga_netlist

@@ -1,0 +1,1 @@
+lib/plb/packer.ml: Arch Config List Vector Vpga_logic

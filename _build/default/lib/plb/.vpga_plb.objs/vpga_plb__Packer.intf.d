@@ -1,0 +1,1 @@
+lib/plb/packer.mli: Arch Config Vpga_logic

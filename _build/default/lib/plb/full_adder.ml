@@ -1,0 +1,63 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Bfun = Vpga_logic.Bfun
+
+let reference () =
+  let nl = Netlist.create ~name:"fa_ref" () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let cin = Netlist.input nl "cin" in
+  let sum = Netlist.gate nl Kind.Xor3 [| a; b; cin |] in
+  let cout = Netlist.gate nl Kind.Maj3 [| a; b; cin |] in
+  ignore (Netlist.output nl "sum" sum);
+  ignore (Netlist.output nl "cout" cout);
+  nl
+
+let xor2 = Bfun.(var ~arity:2 0 ^^^ var ~arity:2 1)
+let and2 = Bfun.(var ~arity:2 0 &&& var ~arity:2 1)
+let mux3 = Bfun.(mux ~sel:(var ~arity:3 0) (var ~arity:3 1) (var ~arity:3 2))
+
+let granular_realization () =
+  let nl = Netlist.create ~name:"fa_granular" () in
+  let a = Netlist.input nl "a" in
+  let b = Netlist.input nl "b" in
+  let cin = Netlist.input nl "cin" in
+  (* P = a xor b on the XOA; shared by the sum and carry paths. *)
+  let p = Netlist.gate nl (Kind.Mapped { cell = "xoa"; fn = xor2 }) [| a; b |] in
+  (* sum = P xor cin on the second MUX. *)
+  let sum =
+    Netlist.gate nl (Kind.Mapped { cell = "mux2"; fn = xor2 }) [| p; cin |]
+  in
+  (* G = a.b on the ND3WI (third input tied). *)
+  let g = Netlist.gate nl (Kind.Mapped { cell = "nd3wi"; fn = and2 }) [| a; b |] in
+  (* Cout = mux(P; G, cin) on the third MUX. *)
+  let cout =
+    Netlist.gate nl (Kind.Mapped { cell = "mux2"; fn = mux3 }) [| p; g; cin |]
+  in
+  ignore (Netlist.output nl "sum" sum);
+  ignore (Netlist.output nl "cout" cout);
+  nl
+
+(* As tile items: the sum path is an XOAMX (XOA chained into a MUX); the
+   carry path adds one MUX plus the ND3WI — the NDMX-shaped resource demand.
+   The XOA is counted once, in the sum item. *)
+let items () =
+  let xor3 = Bfun.(var ~arity:3 0 ^^^ var ~arity:3 1 ^^^ var ~arity:3 2) in
+  [
+    Packer.item Config.Xoamx xor3;
+    { Packer.config = Config.Ndmx; pins = 1 (* cin; a,b already in tile *); flop = false };
+  ]
+
+let tiles_needed arch =
+  if arch.Arch.name = "granular_plb" then Packer.tiles_needed arch (items ())
+  else
+    (* On the LUT-based PLB each output picks its own configuration; neither
+       XOR3 nor MAJ3 is ND3WI-feasible, so each burns a 3-LUT. *)
+    let v i = Bfun.var ~arity:3 i in
+    let xor3 = Bfun.(v 0 ^^^ v 1 ^^^ v 2) in
+    let maj3 = Bfun.((v 0 &&& v 1) ||| (v 1 &&& v 2) ||| (v 0 &&& v 2)) in
+    Packer.tiles_needed arch
+      [
+        Packer.item (Config.choose arch xor3) xor3;
+        Packer.item (Config.choose arch maj3) maj3;
+      ]

@@ -1,0 +1,19 @@
+(** Section 2.2: packing a full adder into a single granular PLB.
+
+    Sum = A xor B xor Cin uses the XOA (propagate P = A xor B) chained into a
+    second MUX; Cout = P.Cin + (not P).G reuses P as the select of the third
+    MUX, with the generate G = A.B on the ND3WI gate. *)
+
+val reference : unit -> Vpga_netlist.Netlist.t
+(** Behavioural full adder (XOR3 + MAJ3) for equivalence checking. *)
+
+val granular_realization : unit -> Vpga_netlist.Netlist.t
+(** The paper's single-PLB realization as a mapped netlist over granular
+    component cells (xoa, mux2, nd3wi). *)
+
+val items : unit -> Packer.item list
+(** The resource items of the realization (for {!Packer.fits}). *)
+
+val tiles_needed : Arch.t -> int
+(** 1 on the granular PLB; 2 on the LUT-based PLB (sum and carry each burn a
+    3-LUT since neither is ND3WI-feasible). *)

@@ -1,0 +1,51 @@
+type item = { config : Config.t; pins : int; flop : bool }
+
+let item ?(flop = false) config f =
+  { config; pins = Vpga_logic.Bfun.support_size f; flop }
+
+let fits arch items =
+  let open Arch in
+  let cap = arch.capacity in
+  let n_flops = List.length (List.filter (fun i -> i.flop) items) in
+  let n_outputs = List.length items in
+  let total_pins = List.fold_left (fun acc i -> acc + i.pins) 0 items in
+  n_flops <= Vector.get cap Ff
+  && n_outputs <= arch.output_pins
+  && total_pins <= arch.input_pins
+  &&
+  (* Backtracking over demand alternatives for each item.  A pure flop
+     (registered pass-through: [flop = true] with config [Invb]) occupies
+     only the tile's flip-flop, which the count above already covers. *)
+  let pure_flop it = it.flop && it.config = Config.Invb in
+  let rec assign used = function
+    | [] -> true
+    | it :: rest when pure_flop it -> assign used rest
+    | it :: rest ->
+        List.exists
+          (fun d ->
+            let used' = Vector.add used d in
+            Vector.fits used' ~cap && assign used' rest)
+          (Config.demand arch it.config)
+  in
+  assign Vector.zero items
+
+(* First-fit-decreasing by resource weight. *)
+let weight it =
+  List.fold_left
+    (fun acc d -> max acc (Arch.Vector.total d))
+    0
+    (Config.demand Arch.granular_plb it.config)
+
+let pack arch items =
+  let sorted =
+    List.stable_sort (fun a b -> compare (weight b) (weight a)) items
+  in
+  let rec insert it = function
+    | [] -> [ [ it ] ]
+    | tile :: rest ->
+        if fits arch (it :: tile) then (it :: tile) :: rest
+        else tile :: insert it rest
+  in
+  List.fold_left (fun tiles it -> insert it tiles) [] sorted
+
+let tiles_needed arch items = List.length (pack arch items)

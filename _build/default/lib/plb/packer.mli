@@ -1,0 +1,26 @@
+(** Intra-PLB resource packing: which sets of logic configurations (plus a
+    flop) can share a single PLB tile.
+
+    The paper's examples for the granular PLB — three MX plus one ND3; one
+    MX, one XOAMX and one ND3; one NDMX plus one XOAMX (the second NDMX
+    realized on the XOA); a full adder in a single tile — all follow from
+    the resource vectors in {!Config.demand}. *)
+
+type item = { config : Config.t; pins : int; flop : bool }
+(** One function to place in a tile: its configuration, the number of
+    distinct external input signals it needs, and whether its output is
+    registered in the tile's flop. *)
+
+val item : ?flop:bool -> Config.t -> Vpga_logic.Bfun.t -> item
+(** Build an item from a configuration and the function it implements (pin
+    count = support size). *)
+
+val fits : Arch.t -> item list -> bool
+(** Resource-vector, pin and flop feasibility of co-locating the items in a
+    single tile (backtracking over demand alternatives). *)
+
+val pack : Arch.t -> item list -> item list list
+(** First-fit-decreasing bin packing of items into tiles; every returned
+    tile satisfies {!fits}.  Deterministic. *)
+
+val tiles_needed : Arch.t -> item list -> int

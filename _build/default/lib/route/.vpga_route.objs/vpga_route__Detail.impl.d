@@ -1,0 +1,1 @@
+lib/route/detail.ml: Array Grid Hashtbl List Option Printf Router String

@@ -1,0 +1,1 @@
+lib/route/detail.mli: Grid Hashtbl Router

@@ -1,0 +1,1 @@
+lib/route/grid.ml: Array Float Vpga_place

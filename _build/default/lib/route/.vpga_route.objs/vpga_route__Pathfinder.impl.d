@@ -1,0 +1,1 @@
+lib/route/pathfinder.ml: Array Grid Hashtbl List Router Vpga_place

@@ -1,0 +1,1 @@
+lib/route/pathfinder.mli: Grid Router Vpga_place

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Float Grid Int List Set

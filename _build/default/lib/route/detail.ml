@@ -1,0 +1,135 @@
+type t = {
+  grid : Grid.t;
+  track : (int * int, int) Hashtbl.t;
+  net_vias : int array;
+  total_vias : int;
+  max_track : int;
+}
+
+(* Is the edge horizontal (within a row)? *)
+let horizontal grid e = e < (grid.Grid.cols - 1) * grid.Grid.rows
+
+(* The two bins an edge joins. *)
+let bins_of grid e =
+  if horizontal grid e then begin
+    let c = e mod (grid.Grid.cols - 1) and r = e / (grid.Grid.cols - 1) in
+    let b = (r * grid.Grid.cols) + c in
+    (b, b + 1)
+  end
+  else begin
+    let e = e - ((grid.Grid.cols - 1) * grid.Grid.rows) in
+    let c = e mod grid.Grid.cols and r = e / grid.Grid.cols in
+    let b = (r * grid.Grid.cols) + c in
+    (b, b + grid.Grid.cols)
+  end
+
+let run grid routes =
+  let occupancy : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let track = Hashtbl.create 1024 in
+  let n_nets = List.length routes in
+  let net_vias = Array.make n_nets 0 in
+  let max_track = ref 0 in
+  List.iteri
+    (fun net rt ->
+      let edges = rt.Router.edges in
+      (* Adjacency between this net's edges: edges sharing a bin. *)
+      let by_bin = Hashtbl.create 16 in
+      List.iter
+        (fun e ->
+          let a, b = bins_of grid e in
+          List.iter
+            (fun bin ->
+              Hashtbl.replace by_bin bin
+                (e :: Option.value ~default:[] (Hashtbl.find_opt by_bin bin)))
+            [ a; b ])
+        edges;
+      (* Assign in list order (back-traced tree order keeps runs together):
+         prefer the track of an already-assigned collinear neighbour. *)
+      List.iter
+        (fun e ->
+          let a, b = bins_of grid e in
+          let preferred =
+            List.concat_map
+              (fun bin -> Option.value ~default:[] (Hashtbl.find_opt by_bin bin))
+              [ a; b ]
+            |> List.filter_map (fun e' ->
+                   if e' <> e && horizontal grid e' = horizontal grid e then
+                     Hashtbl.find_opt track (e', net)
+                   else None)
+          in
+          let free t = not (Hashtbl.mem occupancy (e, t)) in
+          let chosen =
+            match List.find_opt free preferred with
+            | Some t -> Some t
+            | None ->
+                let rec first t =
+                  if t >= grid.Grid.capacity then None
+                  else if free t then Some t
+                  else first (t + 1)
+                in
+                first 0
+          in
+          match chosen with
+          | Some t ->
+              Hashtbl.replace occupancy (e, t) ();
+              Hashtbl.replace track (e, net) t;
+              if t > !max_track then max_track := t
+          | None ->
+              failwith
+                (Printf.sprintf "Detail.run: edge %d over capacity %d" e
+                   grid.Grid.capacity))
+        edges;
+      (* Count vias: within each bin, adjacent edge pairs of this net that
+         change direction or track. *)
+      let vias = ref 0 in
+      Hashtbl.iter
+        (fun _bin es ->
+          let rec pairs = function
+            | [] | [ _ ] -> ()
+            | e1 :: rest ->
+                List.iter
+                  (fun e2 ->
+                    let t1 = Hashtbl.find track (e1, net) in
+                    let t2 = Hashtbl.find track (e2, net) in
+                    if horizontal grid e1 <> horizontal grid e2 || t1 <> t2
+                    then incr vias)
+                  rest;
+                pairs rest
+          in
+          pairs (List.sort_uniq compare es))
+        by_bin;
+      net_vias.(net) <- !vias)
+    routes;
+  {
+    grid;
+    track;
+    net_vias;
+    total_vias = Array.fold_left ( + ) 0 net_vias;
+    max_track = !max_track;
+  }
+
+let track_of t ~net ~edge = Hashtbl.find_opt t.track (edge, net)
+
+let validate t routes =
+  let errors = ref [] in
+  let seen = Hashtbl.create 1024 in
+  List.iteri
+    (fun net rt ->
+      List.iter
+        (fun e ->
+          match track_of t ~net ~edge:e with
+          | None -> errors := Printf.sprintf "net %d unassigned on edge %d" net e :: !errors
+          | Some tr ->
+              if tr < 0 || tr >= t.grid.Grid.capacity then
+                errors := Printf.sprintf "net %d track %d out of range" net tr :: !errors;
+              (match Hashtbl.find_opt seen (e, tr) with
+              | Some other when other <> net ->
+                  errors :=
+                    Printf.sprintf "edge %d track %d shared by nets %d and %d" e
+                      tr other net
+                    :: !errors
+              | Some _ | None -> ());
+              Hashtbl.replace seen (e, tr) net)
+        rt.Router.edges)
+    routes;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

@@ -1,0 +1,26 @@
+(** Detailed routing: track assignment within the global route.
+
+    The paper's flow performs "ASIC-style custom global and detailed
+    routing"; after {!Pathfinder} fixes each net's bin-to-bin path, this
+    pass assigns every crossing to a physical track (0 .. capacity-1) on
+    its boundary, preferring to continue on the same track through
+    collinear segments.  Track changes and direction changes cost a via. *)
+
+type t = {
+  grid : Grid.t;
+  track : (int * int, int) Hashtbl.t;  (** (edge, net index) -> track *)
+  net_vias : int array;  (** per net: vias beyond the pin contacts *)
+  total_vias : int;
+  max_track : int;  (** highest track index used anywhere *)
+}
+
+val run : Grid.t -> Router.route list -> t
+(** @raise Failure if an edge holds more nets than its capacity (cannot
+    happen on an overflow-free PathFinder result). *)
+
+val track_of : t -> net:int -> edge:int -> int option
+(** Track assigned to a net on an edge it crosses. *)
+
+val validate : t -> Router.route list -> (unit, string) result
+(** Checks that every crossing has a track, no (edge, track) pair is shared
+    by two nets, and all tracks are within capacity. *)

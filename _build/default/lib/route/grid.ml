@@ -1,0 +1,86 @@
+type t = {
+  cols : int;
+  rows : int;
+  bin_w : float;
+  bin_h : float;
+  capacity : int;
+  usage : int array;
+  history : float array;
+}
+
+(* Edge layout: horizontal edges first ((cols-1) * rows of them, edge c,r =
+   r*(cols-1)+c between bins (c,r) and (c+1,r)), then vertical edges
+   (cols * (rows-1), edge c,r = base + r*cols+c between (c,r) and (c,r+1)). *)
+
+let num_h t = (t.cols - 1) * t.rows
+let num_edges t = num_h t + (t.cols * (t.rows - 1))
+let num_bins t = t.cols * t.rows
+
+let create ~cols ~rows ~bin_w ~bin_h ~capacity =
+  if cols < 1 || rows < 1 then invalid_arg "Grid.create: empty grid";
+  let t =
+    { cols; rows; bin_w; bin_h; capacity; usage = [||]; history = [||] }
+  in
+  let e = num_edges t in
+  { t with usage = Array.make (max 1 e) 0; history = Array.make (max 1 e) 0.0 }
+
+(* Routing tracks available per um of bin boundary: a handful of metal
+   layers at sub-um pitch (see DESIGN.md's synthetic technology). *)
+let tracks_per_um = 4.0
+
+let of_placement ?target_cols ?capacity pl =
+  let die_w = pl.Vpga_place.Placement.die_w in
+  let die_h = pl.Vpga_place.Placement.die_h in
+  let cols =
+    match target_cols with
+    | Some c -> max 2 c
+    | None ->
+        (* target ~45 um bins *)
+        min 48 (max 8 (int_of_float (Float.round (die_w /. 45.0))))
+  in
+  let rows =
+    max 2
+      (int_of_float (Float.round (float_of_int cols *. die_h /. max 1e-6 die_w)))
+  in
+  let bin_w = die_w /. float_of_int cols in
+  let bin_h = die_h /. float_of_int rows in
+  let capacity =
+    match capacity with
+    | Some c -> c
+    | None -> max 8 (int_of_float (min bin_w bin_h *. tracks_per_um))
+  in
+  create ~cols ~rows ~bin_w ~bin_h ~capacity
+
+let bin_of t ~x ~y =
+  let c = min (t.cols - 1) (max 0 (int_of_float (x /. t.bin_w))) in
+  let r = min (t.rows - 1) (max 0 (int_of_float (y /. t.bin_h))) in
+  (r * t.cols) + c
+
+let coords t b = (b mod t.cols, b / t.cols)
+
+let h_edge t c r = (r * (t.cols - 1)) + c
+let v_edge t c r = num_h t + (r * t.cols) + c
+
+let neighbors t b =
+  let c, r = coords t b in
+  let acc = ref [] in
+  if c > 0 then acc := (h_edge t (c - 1) r, b - 1) :: !acc;
+  if c < t.cols - 1 then acc := (h_edge t c r, b + 1) :: !acc;
+  if r > 0 then acc := (v_edge t c (r - 1), b - t.cols) :: !acc;
+  if r < t.rows - 1 then acc := (v_edge t c r, b + t.cols) :: !acc;
+  !acc
+
+let edge_between t a b =
+  let ca, ra = coords t a and cb, rb = coords t b in
+  if ra = rb && abs (ca - cb) = 1 then h_edge t (min ca cb) ra
+  else if ca = cb && abs (ra - rb) = 1 then v_edge t ca (min ra rb)
+  else invalid_arg "Grid.edge_between: bins not adjacent"
+
+let edge_length t e = if e < num_h t then t.bin_w else t.bin_h
+
+let overflow t =
+  Array.fold_left (fun acc u -> acc + max 0 (u - t.capacity)) 0 t.usage
+
+let center t b =
+  let c, r = coords t b in
+  ((float_of_int c +. 0.5) *. t.bin_w, (float_of_int r +. 0.5) *. t.bin_h)

@@ -1,0 +1,42 @@
+(** Global-routing grid: the die divided into bins, with a capacity (track
+    count) on every bin-to-bin boundary.  This models the VPGA's ASIC-style
+    routing on the metal layers above the PLB array. *)
+
+type t = {
+  cols : int;
+  rows : int;
+  bin_w : float;  (** um *)
+  bin_h : float;
+  capacity : int;  (** tracks per boundary *)
+  usage : int array;  (** per edge *)
+  history : float array;  (** PathFinder history cost, per edge *)
+}
+
+val create : cols:int -> rows:int -> bin_w:float -> bin_h:float -> capacity:int -> t
+
+val of_placement : ?target_cols:int -> ?capacity:int -> Vpga_place.Placement.t -> t
+(** Grid sized from a placement's die: ~45 um bins (8-48 columns) and a
+    boundary capacity proportional to bin size ({!tracks_per_um}). *)
+
+val tracks_per_um : float
+(** Routing tracks per um of bin boundary in the synthetic technology. *)
+
+val bin_of : t -> x:float -> y:float -> int
+(** Bin index containing a coordinate (clamped to the die). *)
+
+val num_bins : t -> int
+val num_edges : t -> int
+
+val neighbors : t -> int -> (int * int) list
+(** [(edge, bin)] pairs adjacent to a bin. *)
+
+val edge_between : t -> int -> int -> int
+(** Edge index between two adjacent bins. @raise Invalid_argument otherwise. *)
+
+val edge_length : t -> int -> float
+(** Physical length represented by crossing an edge, um. *)
+
+val overflow : t -> int
+(** Total usage above capacity, summed over edges. *)
+
+val center : t -> int -> float * float

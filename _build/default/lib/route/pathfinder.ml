@@ -1,0 +1,93 @@
+module Placement = Vpga_place.Placement
+
+type result = {
+  grid : Grid.t;
+  routes : Router.route list;
+  iterations : int;
+  final_overflow : int;
+}
+
+(* Synthetic-technology wire parasitics (see DESIGN.md): mid-layer metal. *)
+let cap_per_um = 0.2 (* fF/um *)
+let res_per_um = 0.00008 (* kOhm/um = ps/fF/um *)
+let local_wire_um = 15.0 (* same-bin nets still have some local wire *)
+
+let route_placement ?grid_cols ?capacity ?(max_iterations = 30) pl =
+  let grid = Grid.of_placement ?target_cols:grid_cols ?capacity pl in
+  let nets = Placement.nets_with_io pl in
+  let pins_of net =
+    Array.to_list net
+    |> List.map (fun id ->
+           Grid.bin_of grid ~x:pl.Placement.x.(id) ~y:pl.Placement.y.(id))
+  in
+  let net_list =
+    Array.to_list nets |> List.map (fun net -> (net, pins_of net))
+  in
+  let current = Hashtbl.create (List.length net_list) in
+  let route_pass ~pres_fac =
+    List.iteri
+      (fun i (_, pins) ->
+        (match Hashtbl.find_opt current i with
+        | Some edges -> Router.uncommit grid edges
+        | None -> ());
+        match Router.route_net grid ~pres_fac ~pins with
+        | Some edges ->
+            Router.commit grid edges;
+            Hashtbl.replace current i edges
+        | None -> assert false (* grids are connected *))
+      net_list
+  in
+  let rec negotiate iter pres_fac =
+    route_pass ~pres_fac;
+    let ov = Grid.overflow grid in
+    if ov = 0 || iter >= max_iterations then (iter, ov)
+    else begin
+      (* accumulate history on congested edges *)
+      Array.iteri
+        (fun e u ->
+          if u > grid.Grid.capacity then
+            grid.Grid.history.(e) <-
+              grid.Grid.history.(e)
+              +. (0.4 *. float_of_int (u - grid.Grid.capacity)))
+        grid.Grid.usage;
+      negotiate (iter + 1) (pres_fac *. 1.8)
+    end
+  in
+  let iterations, final_overflow = negotiate 1 0.5 in
+  let routes =
+    List.mapi
+      (fun i (net, _) ->
+        let edges = Hashtbl.find current i in
+        {
+          Router.net;
+          edges;
+          wirelength = Router.wirelength_of grid edges;
+        })
+      net_list
+  in
+  { grid; routes; iterations; final_overflow }
+
+let total_wirelength r =
+  List.fold_left (fun acc rt -> acc +. rt.Router.wirelength) 0.0 r.routes
+
+let wire_loads_with ~extra_per_edge r =
+  let tbl = Hashtbl.create (List.length r.routes) in
+  List.iter
+    (fun rt ->
+      let driver = rt.Router.net.(0) in
+      let len = max local_wire_um rt.Router.wirelength in
+      let hops = float_of_int (List.length rt.Router.edges) in
+      let er, ec = extra_per_edge in
+      Hashtbl.replace tbl driver
+        ( (len *. cap_per_um) +. (hops *. ec),
+          (len *. res_per_um) +. (hops *. er) ))
+    r.routes;
+  fun driver ->
+    match Hashtbl.find_opt tbl driver with
+    | Some p -> p
+    | None -> (local_wire_um *. cap_per_um, local_wire_um *. res_per_um)
+
+let wire_loads r = wire_loads_with ~extra_per_edge:(0.0, 0.0) r
+
+let wire_loads_regular ?(switch_r = 0.35) ?(switch_c = 1.2) r =
+  wire_loads_with ~extra_per_edge:(switch_r, switch_c) r

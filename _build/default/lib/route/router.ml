@@ -1,0 +1,89 @@
+type route = { net : int array; edges : int list; wirelength : float }
+
+let edge_cost grid ~pres_fac e =
+  let len = Grid.edge_length grid e /. max grid.Grid.bin_w grid.Grid.bin_h in
+  let u = grid.Grid.usage.(e) in
+  let congestion =
+    if u < grid.Grid.capacity then 1.0
+    else 1.0 +. (float_of_int (u + 1 - grid.Grid.capacity) *. pres_fac)
+  in
+  len *. (1.0 +. grid.Grid.history.(e)) *. congestion
+
+(* Priority queue as a Set of (cost, bin). *)
+module Pq = Set.Make (struct
+  type t = float * int
+
+  let compare (c1, b1) (c2, b2) =
+    match Float.compare c1 c2 with 0 -> Int.compare b1 b2 | c -> c
+end)
+
+let route_net grid ~pres_fac ~pins =
+  match List.sort_uniq compare pins with
+  | [] -> invalid_arg "Router.route_net: no pins"
+  | [ _ ] -> Some []
+  | first :: rest ->
+      let n_bins = Grid.num_bins grid in
+      let in_tree = Array.make n_bins false in
+      in_tree.(first) <- true;
+      let tree_edges = ref [] in
+      let remaining = ref rest in
+      let dist = Array.make n_bins infinity in
+      let via = Array.make n_bins (-1) in
+      (* predecessor bin *)
+      let ok = ref true in
+      while !remaining <> [] && !ok do
+        (* Dijkstra from the whole tree to the nearest remaining pin. *)
+        Array.fill dist 0 n_bins infinity;
+        Array.fill via 0 n_bins (-1);
+        let pq = ref Pq.empty in
+        for b = 0 to n_bins - 1 do
+          if in_tree.(b) then begin
+            dist.(b) <- 0.0;
+            pq := Pq.add (0.0, b) !pq
+          end
+        done;
+        let is_target = Array.make n_bins false in
+        List.iter (fun p -> is_target.(p) <- true) !remaining;
+        let found = ref (-1) in
+        while !found < 0 && not (Pq.is_empty !pq) do
+          let (d, b) = Pq.min_elt !pq in
+          pq := Pq.remove (d, b) !pq;
+          if d <= dist.(b) then begin
+            if is_target.(b) then found := b
+            else
+              List.iter
+                (fun (e, nb) ->
+                  let nd = d +. edge_cost grid ~pres_fac e in
+                  if nd < dist.(nb) then begin
+                    dist.(nb) <- nd;
+                    via.(nb) <- b;
+                    pq := Pq.add (nd, nb) !pq
+                  end)
+                (Grid.neighbors grid b)
+          end
+        done;
+        if !found < 0 then ok := false
+        else begin
+          (* Back-trace into the tree, adding edges. *)
+          let rec back b =
+            if not in_tree.(b) then begin
+              in_tree.(b) <- true;
+              let p = via.(b) in
+              tree_edges := Grid.edge_between grid p b :: !tree_edges;
+              back p
+            end
+          in
+          back !found;
+          remaining := List.filter (fun p -> not in_tree.(p)) !remaining
+        end
+      done;
+      if !ok then Some !tree_edges else None
+
+let commit grid edges =
+  List.iter (fun e -> grid.Grid.usage.(e) <- grid.Grid.usage.(e) + 1) edges
+
+let uncommit grid edges =
+  List.iter (fun e -> grid.Grid.usage.(e) <- grid.Grid.usage.(e) - 1) edges
+
+let wirelength_of grid edges =
+  List.fold_left (fun acc e -> acc +. Grid.edge_length grid e) 0.0 edges

@@ -1,0 +1,19 @@
+(** Maze routing: A* tree growth for multi-terminal nets with
+    congestion-aware edge costs. *)
+
+type route = {
+  net : int array;  (** netlist node ids (driver first) *)
+  edges : int list;  (** grid edge indices used *)
+  wirelength : float;  (** um *)
+}
+
+val route_net :
+  Grid.t -> pres_fac:float -> pins:int list -> int list option
+(** Route a single net over the given pin bins; returns the edges used (empty
+    when all pins share a bin), or [None] if disconnected (cannot happen on a
+    grid).  Updates no usage — caller commits. *)
+
+val commit : Grid.t -> int list -> unit
+val uncommit : Grid.t -> int list -> unit
+
+val wirelength_of : Grid.t -> int list -> float

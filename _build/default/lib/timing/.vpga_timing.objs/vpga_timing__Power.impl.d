@@ -1,0 +1,1 @@
+lib/timing/power.ml: Array List Random Sta Vpga_cells Vpga_netlist Vpga_plb

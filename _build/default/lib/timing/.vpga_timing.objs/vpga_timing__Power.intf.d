@@ -1,0 +1,1 @@
+lib/timing/power.mli: Vpga_netlist

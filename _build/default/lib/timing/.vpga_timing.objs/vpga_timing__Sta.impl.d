@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array Float Lazy List Vpga_cells Vpga_netlist Vpga_plb

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Vpga_netlist

@@ -1,0 +1,207 @@
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Levelize = Vpga_netlist.Levelize
+module Cell = Vpga_cells.Cell
+module Characterize = Vpga_cells.Characterize
+module Config = Vpga_plb.Config
+
+type endpoint = { node : int; slack : float }
+
+type result = {
+  period : float;
+  arrival : float array;
+  slack : float array;
+  endpoints : endpoint list;
+  wns : float;
+  critical_path : int list;
+}
+
+let output_pad_cap = 5.0
+
+let dff_cell = lazy (Characterize.find "dff")
+
+let dff_seq () =
+  match (Lazy.force dff_cell).Cell.sequential with
+  | Some s -> s
+  | None -> assert false
+
+let unmapped () =
+  invalid_arg "Sta.run: netlist contains unmapped generic gates"
+
+(* Capacitance presented by one input pin of a node. *)
+let pin_cap node =
+  match node.Netlist.kind with
+  | Kind.Mapped { cell; _ } -> (
+      match Config.of_cell_name cell with
+      | Some c -> Config.input_cap c
+      | None -> (Characterize.find cell).Cell.input_cap)
+  | Kind.Dff -> (Lazy.force dff_cell).Cell.input_cap
+  | Kind.Output -> output_pad_cap
+  | Kind.Input | Kind.Const _ -> 0.0
+  | Kind.Buf | Kind.Inv -> (Characterize.find "inv").Cell.input_cap
+  | Kind.And2 | Kind.Or2 | Kind.Nand2 | Kind.Nor2 | Kind.Xor2 | Kind.Xnor2
+  | Kind.Mux2 | Kind.And3 | Kind.Or3 | Kind.Nand3 | Kind.Nor3 | Kind.Xor3
+  | Kind.Maj3 ->
+      unmapped ()
+
+(* Input-to-output delay of a node driving [load] fF. *)
+let cell_delay node ~load =
+  match node.Netlist.kind with
+  | Kind.Mapped { cell; _ } -> (
+      match Config.of_cell_name cell with
+      | Some c -> Config.delay c ~load
+      | None -> Cell.delay (Characterize.find cell) ~load)
+  | Kind.Dff ->
+      let s = dff_seq () in
+      s.Cell.clk_to_q +. ((Lazy.force dff_cell).Cell.resistance *. load)
+  | Kind.Input ->
+      (* driven by an I/O pad modelled as a buffer *)
+      Cell.delay (Characterize.find "buf") ~load -. (Characterize.find "buf").Cell.intrinsic
+  | Kind.Const _ | Kind.Output -> 0.0
+  | Kind.Buf | Kind.Inv -> Cell.delay (Characterize.find "inv") ~load
+  | Kind.And2 | Kind.Or2 | Kind.Nand2 | Kind.Nor2 | Kind.Xor2 | Kind.Xnor2
+  | Kind.Mux2 | Kind.And3 | Kind.Or3 | Kind.Nand3 | Kind.Nor3 | Kind.Xor3
+  | Kind.Maj3 ->
+      unmapped ()
+
+let no_wire _ = (0.0, 0.0)
+
+let run ?(period = 500.0) ?(wire = no_wire) nl =
+  let n = Netlist.size nl in
+  let topo = Levelize.run nl in
+  let fanout = Netlist.fanout nl in
+  (* Per-driver loads: sink pins plus wire capacitance. *)
+  let sink_cap = Array.make n 0.0 in
+  let wire_cap = Array.make n 0.0 and wire_res = Array.make n 0.0 in
+  for id = 0 to n - 1 do
+    let c, r = wire id in
+    wire_cap.(id) <- c;
+    wire_res.(id) <- r;
+    sink_cap.(id) <-
+      Array.fold_left
+        (fun acc s -> acc +. pin_cap (Netlist.node nl s))
+        0.0 fanout.(id)
+  done;
+  let stage_delay id =
+    let node = Netlist.node nl id in
+    if Array.length fanout.(id) = 0 && node.Netlist.kind <> Kind.Output then
+      cell_delay node ~load:0.0
+    else
+      cell_delay node ~load:(sink_cap.(id) +. wire_cap.(id))
+      +. (wire_res.(id) *. ((wire_cap.(id) /. 2.0) +. sink_cap.(id)))
+  in
+  let arrival = Array.make n 0.0 in
+  let pred = Array.make n (-1) in
+  Array.iter
+    (fun id ->
+      let node = Netlist.node nl id in
+      match node.Netlist.kind with
+      | Kind.Input | Kind.Const _ | Kind.Dff -> arrival.(id) <- stage_delay id
+      | Kind.Output ->
+          let d = node.Netlist.fanins.(0) in
+          arrival.(id) <- arrival.(d);
+          pred.(id) <- d
+      | _ ->
+          let at = ref neg_infinity and best = ref (-1) in
+          Array.iter
+            (fun f ->
+              if arrival.(f) > !at then begin
+                at := arrival.(f);
+                best := f
+              end)
+            node.Netlist.fanins;
+          let at = if !best < 0 then 0.0 else !at in
+          arrival.(id) <- at +. stage_delay id;
+          pred.(id) <- !best)
+    topo.Levelize.order;
+  (* Endpoints. *)
+  let setup = (dff_seq ()).Cell.setup in
+  let endpoints = ref [] in
+  List.iter
+    (fun f ->
+      let d = (Netlist.node nl f).Netlist.fanins.(0) in
+      endpoints := { node = f; slack = period -. setup -. arrival.(d) } :: !endpoints)
+    (Netlist.flops nl);
+  List.iter
+    (fun o -> endpoints := { node = o; slack = period -. arrival.(o) } :: !endpoints)
+    (Netlist.outputs nl);
+  let endpoints =
+    List.sort (fun (a : endpoint) (b : endpoint) -> Float.compare a.slack b.slack) !endpoints
+  in
+  (* Backward required times. *)
+  let required = Array.make n infinity in
+  List.iter
+    (fun ep ->
+      let node = Netlist.node nl ep.node in
+      match node.Netlist.kind with
+      | Kind.Dff ->
+          let d = node.Netlist.fanins.(0) in
+          required.(d) <- min required.(d) (period -. setup)
+      | _ -> required.(ep.node) <- min required.(ep.node) period)
+    endpoints;
+  let order_rev = Array.copy topo.Levelize.order in
+  let len = Array.length order_rev in
+  for i = 0 to (len / 2) - 1 do
+    let t = order_rev.(i) in
+    order_rev.(i) <- order_rev.(len - 1 - i);
+    order_rev.(len - 1 - i) <- t
+  done;
+  Array.iter
+    (fun id ->
+      let node = Netlist.node nl id in
+      match node.Netlist.kind with
+      | Kind.Input | Kind.Const _ | Kind.Dff -> ()
+      | Kind.Output ->
+          let d = node.Netlist.fanins.(0) in
+          required.(d) <- min required.(d) required.(id)
+      | _ ->
+          let r = required.(id) -. stage_delay id in
+          Array.iter
+            (fun f -> required.(f) <- min required.(f) r)
+            node.Netlist.fanins)
+    order_rev;
+  let slack =
+    Array.init n (fun id ->
+        if required.(id) = infinity then infinity
+        else required.(id) -. arrival.(id))
+  in
+  let wns =
+    match endpoints with [] -> period | (ep : endpoint) :: _ -> ep.slack
+  in
+  (* Critical path back-trace from the worst endpoint. *)
+  let critical_path =
+    match endpoints with
+    | [] -> []
+    | ep :: _ ->
+        let start =
+          let node = Netlist.node nl ep.node in
+          match node.Netlist.kind with
+          | Kind.Dff -> node.Netlist.fanins.(0)
+          | _ -> ep.node
+        in
+        let rec back id acc =
+          if id < 0 then acc else back pred.(id) (id :: acc)
+        in
+        back start []
+  in
+  { period; arrival; slack; endpoints; wns; critical_path }
+
+let top_slacks r n =
+  let rec take n = function
+    | [] -> []
+    | (ep : endpoint) :: rest ->
+        if n = 0 then [] else ep.slack :: take (n - 1) rest
+  in
+  take n r.endpoints
+
+let average_top_slack r n =
+  match top_slacks r n with
+  | [] -> r.period
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let criticality r =
+  Array.map
+    (fun s ->
+      if s = infinity then 0.0
+      else min 1.0 (max 0.0 (1.0 -. (s /. r.period))))
+    r.slack

@@ -1,0 +1,41 @@
+(** Static timing analysis over a technology-mapped netlist with extracted
+    wire parasitics — the post-layout timing step of the flow (paper: "static
+    timing analysis ... with data from post-layout extraction").
+
+    All times in ps.  Single clock; endpoints are flop D pins (required =
+    period - setup) and primary outputs (required = period). *)
+
+type endpoint = { node : int;  (** endpoint node id (flop or output) *) slack : float }
+
+type result = {
+  period : float;
+  arrival : float array;  (** per node: output arrival time *)
+  slack : float array;  (** per node: worst slack of paths through it *)
+  endpoints : endpoint list;  (** ascending by slack *)
+  wns : float;  (** worst negative slack (min endpoint slack) *)
+  critical_path : int list;  (** node ids, source to endpoint *)
+}
+
+val run :
+  ?period:float ->
+  ?wire:(int -> float * float) ->
+  Vpga_netlist.Netlist.t ->
+  result
+(** [run ~period ~wire nl] — [wire driver] returns (wire capacitance fF,
+    wire resistance ps/fF) of the driver's net; default models an ideal
+    (zero-parasitic) interconnect.  [period] defaults to 500 ps (the paper's
+    0.5 ns cycle time).
+    @raise Invalid_argument on a netlist with unmapped generic gates. *)
+
+val top_slacks : result -> int -> float list
+(** The [n] worst endpoint slacks (the paper's "Path Slack 1-10" metric). *)
+
+val average_top_slack : result -> int -> float
+
+val pin_cap : Vpga_netlist.Netlist.node -> float
+(** Input-pin capacitance of a node (fF), as used for loads — shared with
+    the power model. *)
+
+val criticality : result -> float array
+(** Per-node criticality in [0,1]: 1 on the critical path, 0 on paths with a
+    full period of slack.  Feeds the placement/packing cost functions. *)

@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array List Printf Vpga_cells Vpga_designs Vpga_mapper Vpga_netlist Vpga_plb Vpga_timing

@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Alu Array Firewire Fpu Fsm List Netswitch Printf Random Vpga_designs Vpga_netlist Wordgen

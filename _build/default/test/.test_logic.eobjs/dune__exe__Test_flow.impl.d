@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Experiments Float Flow Lazy List Printf QCheck QCheck_alcotest Random Vpga_designs Vpga_flow Vpga_logic Vpga_netlist Vpga_plb

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Bfun Gates Lazy List Npn Printf QCheck QCheck_alcotest S3 Vpga_logic

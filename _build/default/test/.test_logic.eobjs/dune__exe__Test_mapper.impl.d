@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Array Compact Flowmap List Printf QCheck QCheck_alcotest Random Techmap Vpga_aig Vpga_logic Vpga_mapper Vpga_netlist Vpga_plb

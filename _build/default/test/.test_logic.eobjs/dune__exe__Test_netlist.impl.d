@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Equiv Kind Levelize List Netlist Printf QCheck QCheck_alcotest Random Simulate Stats Vpga_logic Vpga_netlist

@@ -1,0 +1,1 @@
+test/test_output.ml: Alcotest Array Filename List Printf String Sys Vpga_designs Vpga_flow Vpga_mapper Vpga_netlist Vpga_pack Vpga_place Vpga_plb Vpga_route Vpga_timing

@@ -1,0 +1,1 @@
+test/test_plb.ml: Alcotest Arch Config Full_adder List Packer QCheck QCheck_alcotest Vector Vpga_logic Vpga_netlist Vpga_plb
