@@ -1,0 +1,25 @@
+# One-command CI-style verification and benchmarking.
+#
+#   make            build + full test suite (tier-1 gate)
+#   make build      dune build
+#   make test       dune runtest
+#   make bench      full paper reproduction + kernel benchmarks;
+#                   writes BENCH_sweep.json (JOBS=N to set worker domains)
+
+JOBS ?=
+
+.PHONY: all build test bench clean
+
+all: build test
+
+build:
+	dune build
+
+test:
+	dune build @runtest
+
+bench:
+	dune exec bench/main.exe -- $(if $(JOBS),-jobs $(JOBS),)
+
+clean:
+	dune clean

@@ -1,8 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (at paper-comparable design sizes), then times the flow's
-   kernels with Bechamel.
+   kernels with Bechamel.  Writes BENCH_sweep.json (sweep wall-clock,
+   worker count, per-kernel estimates) so successive revisions have a
+   machine-readable perf trajectory.
 
-     dune exec bench/main.exe
+     dune exec bench/main.exe -- [-jobs N] [-json FILE]
 
    The experiment tables correspond to DESIGN.md's per-experiment index:
    E1/E2 (S3 classification, Figure 2), E3 (full adder), E4 (configuration
@@ -11,6 +13,20 @@
    PLB variant), E11 (flow ablations), E12 (power), E13 (vias), E14 (routing styles). *)
 
 open Vpga_core.Vpga
+
+let jobs = ref (Vpga_par.Pool.default_jobs ())
+let json_path = ref "BENCH_sweep.json"
+
+let () =
+  Arg.parse
+    [
+      ("-jobs", Arg.Set_int jobs, "N  worker domains for the E6-E9 flow sweep");
+      ("-json", Arg.Set_string json_path, "FILE  where to write the JSON record");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [-jobs N] [-json FILE]"
+
+let sweep_seconds = ref 0.0
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -26,8 +42,10 @@ let reproduce_tables () =
   Report.compaction Format.std_formatter Experiments.Paper;
   section "E6-E9: Full evaluation (paper-scale designs, both PLBs, both flows)";
   let t0 = Unix.gettimeofday () in
-  let rows = Experiments.run_all ~seed:1 Experiments.Paper in
-  Format.printf "(flow sweep took %.1f s)@.@." (Unix.gettimeofday () -. t0);
+  let rows = Experiments.run_all ~seed:1 ~jobs:!jobs Experiments.Paper in
+  sweep_seconds := Unix.gettimeofday () -. t0;
+  Format.printf "(flow sweep took %.1f s on %d worker domain%s)@.@."
+    !sweep_seconds !jobs (if !jobs = 1 then "" else "s");
   Report.table1 Format.std_formatter rows;
   Format.printf "@.";
   Report.table2 Format.std_formatter rows;
@@ -118,25 +136,50 @@ let run_benchmarks () =
   let cfg =
     Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
       let ols_results = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let short =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
-              Format.printf "  %-24s %12.0f ns/run@."
-                (match String.index_opt name '/' with
-                | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-                | None -> name)
-                est
-          | Some _ | None -> Format.printf "  %-24s (no estimate)@." name)
-        ols_results)
+              Format.printf "  %-24s %12.0f ns/run@." short est;
+              (short, est) :: acc
+          | Some _ | None ->
+              Format.printf "  %-24s (no estimate)@." short;
+              acc)
+        ols_results [])
     bench_tests
+
+(* Machine-readable perf record: the sweep wall-clock and the per-kernel
+   Bechamel estimates, one JSON object per revision to diff against. *)
+let write_json kernels =
+  let oc = open_out !json_path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"vpga-bench-sweep/1\",\n";
+  out "  \"jobs\": %d,\n" !jobs;
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"sweep_wall_s\": %.3f,\n" !sweep_seconds;
+  out "  \"kernels_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    %S: %.1f%s\n" name ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  out "  }\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." !json_path
 
 let () =
   Format.printf "VPGA granularity exploration: paper-reproduction benchmark@.";
   reproduce_tables ();
-  run_benchmarks ();
+  let kernels = run_benchmarks () in
+  write_json kernels;
   Format.printf "@.done.@."

@@ -19,6 +19,15 @@ let paper_flag =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for the flow.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Vpga_par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for the flow sweep (default: cores - 1).  Results \
+           are identical for any value; 1 runs fully sequentially.")
+
 let scale_of p = if p then Experiments.Paper else Experiments.Test
 
 let s3_cmd =
@@ -42,8 +51,8 @@ let compaction_cmd =
     Term.(const run $ paper_flag)
 
 let tables_cmd =
-  let run paper seed =
-    let rows = Experiments.run_all ~seed (scale_of paper) in
+  let run paper seed jobs =
+    let rows = Experiments.run_all ~seed ~jobs (scale_of paper) in
     Report.table1 Format.std_formatter rows;
     Format.printf "@.";
     Report.table2 Format.std_formatter rows;
@@ -54,7 +63,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Reproduce Tables 1 and 2 and the headline claims (E6-E9)")
-    Term.(const run $ paper_flag $ seed_arg)
+    Term.(const run $ paper_flag $ seed_arg $ jobs_arg)
 
 let design_of_name paper name =
   let scale = scale_of paper in

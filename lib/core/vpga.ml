@@ -38,6 +38,7 @@ module Alu = Vpga_designs.Alu
 module Fpu = Vpga_designs.Fpu
 module Netswitch = Vpga_designs.Netswitch
 module Firewire = Vpga_designs.Firewire
+module Pool = Vpga_par.Pool
 module Flow = Vpga_flow.Flow
 module Experiments = Vpga_flow.Experiments
 module Report = Vpga_flow.Report

@@ -28,15 +28,38 @@ let designs scale =
 
 type row = { name : string; lut : Flow.pair; granular : Flow.pair }
 
-let run_all ?(seed = 1) scale =
-  List.map
-    (fun (name, nl) ->
-      {
-        name;
-        lut = Flow.run ~seed Arch.lut_plb nl;
-        granular = Flow.run ~seed Arch.granular_plb nl;
-      })
-    (designs scale)
+(* Each (design, arch) flow run is an independent task with its own RNG
+   seed derived from the task identity — never from a shared Random.State
+   or from submission order — so the sweep's results do not depend on how
+   many workers execute it or in what order tasks complete. *)
+let task_seed ~seed name arch =
+  let mix h k = (h * 65599) + k in
+  let h = ref (mix 0 seed) in
+  String.iter (fun c -> h := mix !h (Char.code c)) name;
+  String.iter (fun c -> h := mix !h (Char.code c)) arch.Arch.name;
+  !h land 0x3FFFFFFF
+
+let run_all ?(seed = 1) ?jobs scale =
+  (* Populate every shared lazy table from this domain before workers
+     race for them (Lazy.force is not domain-safe in OCaml 5). *)
+  Config.prewarm ();
+  let ds = designs scale in
+  let tasks =
+    List.concat_map
+      (fun (name, nl) ->
+        List.map
+          (fun arch () -> Flow.run ~seed:(task_seed ~seed name arch) arch nl)
+          [ Arch.lut_plb; Arch.granular_plb ])
+      ds
+  in
+  let rec pair_up ds results =
+    match (ds, results) with
+    | [], [] -> []
+    | (name, _) :: ds', lut :: granular :: rest ->
+        { name; lut; granular } :: pair_up ds' rest
+    | _ -> assert false
+  in
+  pair_up ds (Vpga_par.Pool.run ?jobs tasks)
 
 type headline = {
   datapath_area_reduction : float;

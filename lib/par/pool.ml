@@ -1,0 +1,155 @@
+(* Fixed worker pool over OCaml 5 domains: a bounded FIFO protected by one
+   mutex and two condition variables ([not_empty] for workers, [not_full]
+   for producers).  No work stealing — tasks here are whole flow runs, so
+   queue contention is negligible next to task cost. *)
+
+type task = Run of (unit -> unit) | Stop
+
+type t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : task Queue.t;
+  capacity : int;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  f_lock : Mutex.t;
+  f_done : Condition.t;
+  mutable state : 'a state;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let rec worker p =
+  Mutex.lock p.lock;
+  while Queue.is_empty p.queue do
+    Condition.wait p.not_empty p.lock
+  done;
+  let task = Queue.pop p.queue in
+  Condition.signal p.not_full;
+  Mutex.unlock p.lock;
+  match task with
+  | Stop -> ()
+  | Run f ->
+      f ();
+      worker p
+
+let create ?capacity ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let capacity = match capacity with Some c -> c | None -> 2 * jobs in
+  if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
+  let p =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      workers = [];
+      stopped = false;
+    }
+  in
+  p.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let enqueue p task =
+  Mutex.lock p.lock;
+  if p.stopped then begin
+    Mutex.unlock p.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  while Queue.length p.queue >= p.capacity do
+    Condition.wait p.not_full p.lock
+  done;
+  Queue.push task p.queue;
+  Condition.signal p.not_empty;
+  Mutex.unlock p.lock
+
+let submit p f =
+  let fut = { f_lock = Mutex.create (); f_done = Condition.create (); state = Pending } in
+  let run () =
+    let result =
+      (* The worker loop must survive any task failure: capture it here and
+         hand it to whoever awaits. *)
+      try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.f_lock;
+    fut.state <- result;
+    Condition.broadcast fut.f_done;
+    Mutex.unlock fut.f_lock
+  in
+  enqueue p (Run run);
+  fut
+
+let await_state fut =
+  Mutex.lock fut.f_lock;
+  while (match fut.state with Pending -> true | Done _ | Failed _ -> false) do
+    Condition.wait fut.f_done fut.f_lock
+  done;
+  let s = fut.state in
+  Mutex.unlock fut.f_lock;
+  s
+
+let await fut =
+  match await_state fut with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown p =
+  let to_join =
+    Mutex.lock p.lock;
+    if p.stopped then begin
+      Mutex.unlock p.lock;
+      []
+    end
+    else begin
+      p.stopped <- true;
+      let ws = p.workers in
+      p.workers <- [];
+      Mutex.unlock p.lock;
+      (* Stop tokens go through the same bounded queue, behind every already
+         submitted task: workers drain the backlog before exiting.  Bypass
+         [enqueue]'s stopped check (we just set it) but keep the bound. *)
+      List.iter
+        (fun _ ->
+          Mutex.lock p.lock;
+          while Queue.length p.queue >= p.capacity do
+            Condition.wait p.not_full p.lock
+          done;
+          Queue.push Stop p.queue;
+          Condition.signal p.not_empty;
+          Mutex.unlock p.lock)
+        ws;
+      ws
+    end
+  in
+  List.iter Domain.join to_join
+
+let run ?jobs thunks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length thunks in
+  if jobs = 1 || n <= 1 then List.map (fun f -> f ()) thunks
+  else begin
+    let p = create ~jobs:(min jobs n) () in
+    (* Submission blocks when the queue fills, so collect futures as we go. *)
+    let futs = List.map (submit p) thunks in
+    let states = List.map await_state futs in
+    shutdown p;
+    List.map
+      (function
+        | Done v -> v
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+      states
+  end
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

@@ -1,0 +1,58 @@
+(** A fixed worker pool over OCaml 5 domains.
+
+    [jobs] worker domains pull thunks from one bounded FIFO queue
+    (mutex + condition variables, no work stealing).  Results come back
+    through futures; a worker exception is captured and re-raised, with
+    its backtrace, at the {!await} site.  Submission blocks while the
+    queue holds [capacity] pending tasks, which keeps a producer that is
+    faster than the workers from buffering the whole workload.
+
+    The pool is intended for coarse tasks (an entire RTL-to-layout flow
+    run per task); nothing here is tuned for fine-grained parallelism.
+
+    Determinism: the pool imposes no ordering on task execution, so tasks
+    must not share mutable state or a common RNG.  Callers that need
+    run-to-run reproducibility derive an independent seed per task (see
+    [Experiments.run_all]).  {!run} and {!map} return results in
+    submission order regardless of completion order, and with [jobs = 1]
+    they run every thunk inline on the calling domain — the sequential
+    reference semantics. *)
+
+type t
+(** A running pool.  Workers live until {!shutdown}. *)
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], floor 1: leave one
+    hardware context for the submitting domain. *)
+
+val create : ?capacity:int -> jobs:int -> unit -> t
+(** Spawn [jobs] worker domains (at least 1) sharing a bounded queue of
+    [capacity] pending tasks (default [2 * jobs]).
+    @raise Invalid_argument if [jobs < 1] or [capacity < 1]. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task; blocks while the queue is full.
+    @raise Invalid_argument if the pool is already shut down. *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes.  Re-raises the task's exception (with
+    the worker-side backtrace) if it failed.  May be called more than
+    once and from any domain. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop the workers and join their domains.  Already
+    submitted tasks all run before the workers exit.  Idempotent. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs thunks]: execute every thunk on a transient pool of
+    [min jobs (length thunks)] workers and return the results in
+    submission order.  [jobs] defaults to {!default_jobs}; [jobs = 1]
+    runs inline, sequentially, without spawning a domain.  If any task
+    raised, the pool is still shut down cleanly and then the first
+    failure (in submission order) is re-raised. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs = run ~jobs (List.map (fun x () -> f x) xs)]. *)

@@ -5,11 +5,14 @@ type stats = {
   accepted : int;
 }
 
+module Bbox = Placement.Bbox
+
 let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
   let g = pl.Placement.graph in
   let movable = g.Hypergraph.node_of_vertex in
   let n_cells = Array.length movable in
   let nets = Placement.nets_with_io pl in
+  let n_nets = Array.length nets in
   let n_nodes = Array.length pl.Placement.x in
   if n_cells = 0 then
     { initial_cost = 0.0; final_cost = 0.0; moves = 0; accepted = 0 }
@@ -37,7 +40,26 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
             fill.(id) <- fill.(id) + 1)
           net)
       nets;
-    let net_cost = Array.mapi (fun e net -> weight.(e) *. Placement.net_hpwl pl net) nets in
+    (* Cached per-net bounding boxes: proposals cost O(1) per touched net
+       instead of an O(degree) rescan, except when a mover leaves a bound
+       it held alone (Bbox's rescan fallback).  Nets at or below the cutoff
+       always rescan: with 2-4 pins the mover holds a bound alone so often
+       that the fallback fires constantly, and a direct scan is cheaper
+       than bookkeeping plus the exception. *)
+    let small_cutoff = 4 in
+    let small = Array.map (fun net -> Array.length net <= small_cutoff) nets in
+    let bbs =
+      Array.mapi
+        (fun e net -> if small.(e) then Bbox.dummy else Bbox.of_net pl net)
+        nets
+    in
+    let net_cost =
+      Array.mapi
+        (fun e net ->
+          weight.(e)
+          *. (if small.(e) then Placement.net_hpwl pl net else Bbox.hpwl bbs.(e)))
+        nets
+    in
     let total = ref (Array.fold_left ( +. ) 0.0 net_cost) in
     let initial_cost = !total in
     let iterations =
@@ -45,7 +67,7 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
     in
     let t_start =
       if t_start > 0.0 then t_start
-      else max 1.0 (initial_cost /. float_of_int (max 1 (Array.length nets)))
+      else max 1.0 (initial_cost /. float_of_int (max 1 n_nets))
     in
     let t_end = if t_end > 0.0 then t_end else t_start /. 1000.0 in
     let alpha =
@@ -53,23 +75,17 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
     in
     let temp = ref t_start in
     let accepted = ref 0 in
-    (* Recompute the cost delta of the nets touching the given nodes. *)
-    let delta_of touched =
-      List.fold_left
-        (fun acc e ->
-          let fresh = weight.(e) *. Placement.net_hpwl pl nets.(e) in
-          acc +. (fresh -. net_cost.(e)))
-        0.0 touched
-    in
-    let commit touched =
-      List.iter
-        (fun e -> net_cost.(e) <- weight.(e) *. Placement.net_hpwl pl nets.(e))
-        touched
-    in
-    let touched_of ids =
-      List.sort_uniq compare
-        (List.concat_map (fun id -> Array.to_list incident.(id)) ids)
-    in
+    (* Per-proposal scratch: which nets the movers touch, how many movers
+       touch each (a swap can land both endpoints in one net), and which
+       mover stamped it first.  [stamp] doubles as the dedup set. *)
+    let stamp = Array.make n_nets 0 in
+    let movers_in = Array.make n_nets 0 in
+    let mover_of = Array.make n_nets (-1) in
+    let max_deg = Array.fold_left max 0 deg in
+    let buf_len = max 1 (2 * max_deg) in
+    let touched = Array.make buf_len 0 in
+    let tentative = Array.make buf_len 0.0 in
+    let n_touched = ref 0 in
     let window_w = ref (pl.Placement.die_w /. 2.0) in
     let window_h = ref (pl.Placement.die_h /. 2.0) in
     for step = 1 to iterations do
@@ -98,17 +114,73 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
           pl.Placement.y.(id) <-
             clamp (oy +. Random.State.float rng (2.0 *. !window_h) -. !window_h)
               0.0 pl.Placement.die_h);
-      let ids =
-        match other with Some (id2, _, _) -> [ id; id2 ] | None -> [ id ]
+      let register m =
+        Array.iter
+          (fun e ->
+            if stamp.(e) <> step then begin
+              stamp.(e) <- step;
+              movers_in.(e) <- 1;
+              mover_of.(e) <- m;
+              touched.(!n_touched) <- e;
+              incr n_touched
+            end
+            else movers_in.(e) <- movers_in.(e) + 1)
+          incident.(m)
       in
-      let touched = touched_of ids in
-      let d = delta_of touched in
+      n_touched := 0;
+      register id;
+      (match other with Some (id2, _, _) -> register id2 | None -> ());
+      (* Tentative cost per touched net — pure float math against the cached
+         record, no mutation, no per-net allocation.  Caches are only touched
+         on accept. *)
+      let d = ref 0.0 in
+      for i = 0 to !n_touched - 1 do
+        let e = touched.(i) in
+        let w =
+          if small.(e) || movers_in.(e) > 1 then Placement.net_hpwl pl nets.(e)
+          else if mover_of.(e) = id then (
+            try
+              Bbox.shift_hpwl bbs.(e) ~ox ~oy ~nx:pl.Placement.x.(id)
+                ~ny:pl.Placement.y.(id)
+            with Bbox.Rescan -> Placement.net_hpwl pl nets.(e))
+          else
+            match other with
+            | Some (id2, ox2, oy2) -> (
+                try
+                  Bbox.shift_hpwl bbs.(e) ~ox:ox2 ~oy:oy2
+                    ~nx:pl.Placement.x.(id2) ~ny:pl.Placement.y.(id2)
+                with Bbox.Rescan -> Placement.net_hpwl pl nets.(e))
+            | None -> assert false
+        in
+        let cost = weight.(e) *. w in
+        tentative.(i) <- cost;
+        d := !d +. (cost -. net_cost.(e))
+      done;
+      let d = !d in
       let accept =
         d <= 0.0
         || Random.State.float rng 1.0 < exp (-.d /. max 1e-9 !temp)
       in
       if accept then begin
-        commit touched;
+        for i = 0 to !n_touched - 1 do
+          let e = touched.(i) in
+          (if small.(e) then ()
+           else if movers_in.(e) > 1 then bbs.(e) <- Bbox.of_net pl nets.(e)
+           else if mover_of.(e) = id then (
+             try
+               Bbox.shift bbs.(e) ~ox ~oy ~nx:pl.Placement.x.(id)
+                 ~ny:pl.Placement.y.(id)
+             with Bbox.Rescan -> bbs.(e) <- Bbox.of_net pl nets.(e))
+           else
+             match other with
+             | Some (id2, ox2, oy2) -> (
+                 try
+                   Bbox.shift bbs.(e) ~ox:ox2 ~oy:oy2
+                     ~nx:pl.Placement.x.(id2) ~ny:pl.Placement.y.(id2)
+                 with Bbox.Rescan -> bbs.(e) <- Bbox.of_net pl nets.(e))
+             | None -> assert false);
+          net_cost.(e) <- tentative.(i)
+        done;
         total := !total +. d;
         incr accepted
       end

@@ -60,8 +60,145 @@ let net_hpwl t net =
 
 let nets_with_io t = nets_with_io_of t.graph.Hypergraph.nl
 
-let hpwl t =
-  Array.fold_left (fun acc net -> acc +. net_hpwl t net) 0.0 (nets_with_io t)
+let hpwl ?nets t =
+  let nets = match nets with Some n -> n | None -> nets_with_io t in
+  Array.fold_left (fun acc net -> acc +. net_hpwl t net) 0.0 nets
+
+(* Cached per-net bounding boxes with boundary multiplicity, for incremental
+   HPWL maintenance (the annealer's hot path).  [n_*] counts the pins sitting
+   exactly on each boundary: while a bound has multiplicity > 1, a pin can
+   leave it without a rescan. *)
+module Bbox = struct
+  type b = {
+    mutable min_x : float;
+    mutable max_x : float;
+    mutable min_y : float;
+    mutable max_y : float;
+    mutable n_min_x : int;
+    mutable n_max_x : int;
+    mutable n_min_y : int;
+    mutable n_max_y : int;
+  }
+
+  let of_net t net =
+    let b =
+      {
+        min_x = infinity;
+        max_x = neg_infinity;
+        min_y = infinity;
+        max_y = neg_infinity;
+        n_min_x = 0;
+        n_max_x = 0;
+        n_min_y = 0;
+        n_max_y = 0;
+      }
+    in
+    Array.iter
+      (fun id ->
+        let x = t.x.(id) and y = t.y.(id) in
+        if x < b.min_x then begin b.min_x <- x; b.n_min_x <- 1 end
+        else if x = b.min_x then b.n_min_x <- b.n_min_x + 1;
+        if x > b.max_x then begin b.max_x <- x; b.n_max_x <- 1 end
+        else if x = b.max_x then b.n_max_x <- b.n_max_x + 1;
+        if y < b.min_y then begin b.min_y <- y; b.n_min_y <- 1 end
+        else if y = b.min_y then b.n_min_y <- b.n_min_y + 1;
+        if y > b.max_y then begin b.max_y <- y; b.n_max_y <- 1 end
+        else if y = b.max_y then b.n_max_y <- b.n_max_y + 1)
+      net;
+    b
+
+  let hpwl b = b.max_x -. b.min_x +. (b.max_y -. b.min_y)
+
+  let copy b = { b with min_x = b.min_x }
+
+  (* Shared placeholder for slots whose net is tracked by rescan instead of
+     incrementally (e.g. the annealer's small-net cutoff).  Never mutated. *)
+  let dummy =
+    {
+      min_x = 0.0;
+      max_x = 0.0;
+      min_y = 0.0;
+      max_y = 0.0;
+      n_min_x = 0;
+      n_max_x = 0;
+      n_min_y = 0;
+      n_max_y = 0;
+    }
+
+  exception Rescan
+
+  (* One coordinate axis, min side: pin moved [o] -> [n] against bound
+     [bound] held by [count] pins.  Returns the new (bound, count);
+     raises [Rescan] when the pin was alone on the bound and moved off
+     it inward (the cached record can't tell where the next pin is). *)
+  let min_side bound count ~o ~n =
+    if o = bound then
+      if n <= bound then ((n, if n = bound then count else 1))
+      else if count > 1 then (bound, count - 1)
+      else raise Rescan
+    else if n < bound then (n, 1)
+    else if n = bound then (bound, count + 1)
+    else (bound, count)
+
+  let max_side bound count ~o ~n =
+    if o = bound then
+      if n >= bound then ((n, if n = bound then count else 1))
+      else if count > 1 then (bound, count - 1)
+      else raise Rescan
+    else if n > bound then (n, 1)
+    else if n = bound then (bound, count + 1)
+    else (bound, count)
+
+  (* In-place update of [b] for one pin moved (ox,oy) -> (nx,ny).
+     Raises [Rescan] when the cached record is insufficient; the caller
+     must rebuild with [of_net] (coordinate arrays already hold the new
+     position).  [b] may be left partially updated on raise — callers
+     always rebuild it in that case. *)
+  let shift b ~ox ~oy ~nx ~ny =
+    if nx <> ox then begin
+      let mn, cn = min_side b.min_x b.n_min_x ~o:ox ~n:nx in
+      let mx, cx = max_side b.max_x b.n_max_x ~o:ox ~n:nx in
+      b.min_x <- mn;
+      b.n_min_x <- cn;
+      b.max_x <- mx;
+      b.n_max_x <- cx
+    end;
+    if ny <> oy then begin
+      let mn, cn = min_side b.min_y b.n_min_y ~o:oy ~n:ny in
+      let mx, cx = max_side b.max_y b.n_max_y ~o:oy ~n:ny in
+      b.min_y <- mn;
+      b.n_min_y <- cn;
+      b.max_y <- mx;
+      b.n_max_y <- cx
+    end
+
+  (* Allocation-free tentative evaluation: the HPWL after the move, or
+     [Rescan].  One branch per bound, mirroring [min_side]/[max_side]. *)
+  let shift_hpwl b ~ox ~oy ~nx ~ny =
+    let min_bound bound count o n =
+      if n <= bound then n
+      else if o > bound then bound
+      else if count > 1 then bound
+      else raise Rescan
+    in
+    let max_bound bound count o n =
+      if n >= bound then n
+      else if o < bound then bound
+      else if count > 1 then bound
+      else raise Rescan
+    in
+    let min_x = if nx = ox then b.min_x else min_bound b.min_x b.n_min_x ox nx in
+    let max_x = if nx = ox then b.max_x else max_bound b.max_x b.n_max_x ox nx in
+    let min_y = if ny = oy then b.min_y else min_bound b.min_y b.n_min_y oy ny in
+    let max_y = if ny = oy then b.max_y else max_bound b.max_y b.n_max_y oy ny in
+    max_x -. min_x +. (max_y -. min_y)
+
+  let shifted t b net ~ox ~oy ~nx ~ny =
+    let b' = copy b in
+    match shift b' ~ox ~oy ~nx ~ny with
+    | () -> b'
+    | exception Rescan -> of_net t net
+end
 
 let scatter ~seed t =
   let rng = Random.State.make [| seed |] in

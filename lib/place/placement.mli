@@ -22,8 +22,10 @@ val create : ?utilization:float -> Vpga_netlist.Netlist.t -> t
 val net_hpwl : t -> int array -> float
 (** Half-perimeter wirelength of one net given as netlist node ids. *)
 
-val hpwl : t -> float
-(** Total half-perimeter wirelength over all nets (I/O included). *)
+val hpwl : ?nets:int array array -> t -> float
+(** Total half-perimeter wirelength over all nets (I/O included).  Pass
+    [~nets] (from {!nets_with_io}) to skip rebuilding the net list —
+    the fast path for callers that evaluate HPWL repeatedly. *)
 
 val nets_with_io : t -> int array array
 (** Nets as netlist-node-id arrays, including I/O terminals (used by HPWL,
@@ -31,3 +33,56 @@ val nets_with_io : t -> int array array
 
 val scatter : seed:int -> t -> unit
 (** Uniform random cell coordinates (baseline / annealing start). *)
+
+(** Cached per-net bounding boxes for incremental HPWL maintenance.
+
+    A record keeps the net's bounds plus the number of pins sitting
+    exactly on each bound.  Moving one pin updates the record in O(1)
+    unless the pin was alone on a bound and left it inward, in which
+    case the net is rescanned (O(degree)) — the classic VPR-style
+    incremental bounding box.  This is the annealer's hot path. *)
+module Bbox : sig
+  type b = {
+    mutable min_x : float;
+    mutable max_x : float;
+    mutable min_y : float;
+    mutable max_y : float;
+    mutable n_min_x : int;  (** pins at [min_x] *)
+    mutable n_max_x : int;
+    mutable n_min_y : int;
+    mutable n_max_y : int;
+  }
+
+  val of_net : t -> int array -> b
+  (** Scan the net at the placement's current coordinates. *)
+
+  val hpwl : b -> float
+
+  val copy : b -> b
+
+  val dummy : b
+  (** Shared all-zero placeholder for array slots whose net is tracked by
+      plain rescans rather than incrementally (e.g. nets below the
+      annealer's small-net cutoff).  Must never be mutated. *)
+
+  exception Rescan
+  (** Raised when a cached record cannot absorb a move: the pin held a
+      bound alone and left it inward, so only a rescan ({!of_net}) knows
+      the next pin. *)
+
+  val shift : b -> ox:float -> oy:float -> nx:float -> ny:float -> unit
+  (** Update [b] in place for one pin moved [(ox, oy)] -> [(nx, ny)].
+      @raise Rescan when the record is insufficient; [b] may then be
+      partially updated and must be rebuilt with {!of_net}. *)
+
+  val shift_hpwl : b -> ox:float -> oy:float -> nx:float -> ny:float -> float
+  (** The HPWL [b] would have after the move, without mutating [b] and
+      without allocating.
+      @raise Rescan under the same condition as {!shift}. *)
+
+  val shifted : t -> b -> int array -> ox:float -> oy:float -> nx:float -> ny:float -> b
+  (** [shifted t b net ~ox ~oy ~nx ~ny] is a fresh record reflecting one
+      pin of [net] having moved from [(ox, oy)] to [(nx, ny)] — the
+      coordinate arrays of [t] must already hold the new position (they
+      are only consulted on the rescan fallback).  [b] is not mutated. *)
+end

@@ -260,6 +260,13 @@ let via_count c =
   | Lut -> v "lut3"
   | Carry -> v "mux2"
 
+let prewarm () =
+  (* Force every shared lazy feasibility set (and, transitively,
+     Gates.mux_tables) from one domain.  Worker domains must never race
+     to force them: concurrent Lazy.force is unsafe in OCaml 5. *)
+  let probe = Bfun.var ~arity:3 0 in
+  List.iter (fun c -> ignore (feasible c probe)) all
+
 let cell_name c = "cfg:" ^ name c
 
 let of_cell_name s =

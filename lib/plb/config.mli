@@ -66,6 +66,11 @@ val carry_pair : Vpga_logic.Bfun.t -> (int * int) option
     pins [x, y] — the condition under which a supernode may be emitted as
     [Carry] next to a sibling XOAMX over the same leaves. *)
 
+val prewarm : unit -> unit
+(** Force the module's shared (lazily built) feasibility sets.  Call once
+    from the main domain before running flows on worker domains — OCaml 5
+    lazies are not safe to force concurrently. *)
+
 val cell_name : t -> string
 (** Name used for configuration supernodes in mapped netlists
     ([Kind.Mapped] cells), e.g. ["cfg:ndmx"]. *)

@@ -18,7 +18,10 @@ type result = {
 
 let output_pad_cap = 5.0
 
+(* Not lazy: module initialization must complete before worker domains
+   start (concurrently forcing a shared lazy is racy in OCaml 5). *)
 let dff_cell = lazy (Characterize.find "dff")
+let () = ignore (Lazy.force dff_cell)
 
 let dff_seq () =
   match (Lazy.force dff_cell).Cell.sequential with

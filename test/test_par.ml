@@ -1,0 +1,215 @@
+(* The domain pool (Vpga_par.Pool), the incremental-HPWL bounding boxes
+   behind the annealer, and the parallel-sweep determinism contract:
+   Experiments.run_all must return the same rows whatever [jobs] is. *)
+
+module Pool = Vpga_par.Pool
+module Placement = Vpga_place.Placement
+module Global = Vpga_place.Global
+module Anneal = Vpga_place.Anneal
+module Arch = Vpga_plb.Arch
+module Compact = Vpga_mapper.Compact
+open Vpga_flow
+
+(* --- Pool ------------------------------------------------------------- *)
+
+let test_results_in_submission_order () =
+  (* Tasks finish out of order (earlier tasks sleep longer); results must
+     still come back in submission order. *)
+  let n = 12 in
+  let tasks =
+    List.init n (fun i ->
+        fun () ->
+          Unix.sleepf (0.002 *. float_of_int (n - i));
+          i)
+  in
+  Alcotest.(check (list int))
+    "ordered results" (List.init n Fun.id)
+    (Pool.run ~jobs:4 tasks)
+
+let test_more_jobs_than_tasks () =
+  Alcotest.(check (list int))
+    "2 tasks on 8 workers" [ 10; 20 ]
+    (Pool.run ~jobs:8 [ (fun () -> 10); (fun () -> 20) ])
+
+let test_sequential_jobs1 () =
+  (* jobs = 1 must run inline: side effects happen in submission order. *)
+  let log = ref [] in
+  let tasks = List.init 5 (fun i -> fun () -> log := i :: !log; i) in
+  let results = Pool.run ~jobs:1 tasks in
+  Alcotest.(check (list int)) "results" [ 0; 1; 2; 3; 4 ] results;
+  Alcotest.(check (list int)) "inline execution order" [ 4; 3; 2; 1; 0 ] !log
+
+exception Boom of string
+
+let test_exception_propagation () =
+  let tasks =
+    [
+      (fun () -> 1);
+      (fun () -> raise (Boom "worker 2 failed"));
+      (fun () -> 3);
+      (fun () -> 4);
+    ]
+  in
+  match Pool.run ~jobs:3 tasks with
+  | _ -> Alcotest.fail "worker exception was swallowed"
+  | exception Boom msg ->
+      Alcotest.(check string) "exception payload" "worker 2 failed" msg
+
+let test_pool_reuse_and_shutdown () =
+  let p = Pool.create ~jobs:3 () in
+  let futs = List.init 20 (fun i -> Pool.submit p (fun () -> i * i)) in
+  List.iteri
+    (fun i fut -> Alcotest.(check int) "future value" (i * i) (Pool.await fut))
+    futs;
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.submit p (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown should fail"
+  | exception Invalid_argument _ -> ()
+
+let test_bounded_queue_backpressure () =
+  (* capacity 1, slow workers: submission must block rather than buffer,
+     and everything still completes. *)
+  let p = Pool.create ~capacity:1 ~jobs:2 () in
+  let futs =
+    List.init 8 (fun i ->
+        Pool.submit p (fun () ->
+            Unix.sleepf 0.002;
+            i))
+  in
+  Alcotest.(check (list int))
+    "all completed" (List.init 8 Fun.id)
+    (List.map Pool.await futs);
+  Pool.shutdown p
+
+(* --- Incremental HPWL bounding boxes ---------------------------------- *)
+
+let small_placement () =
+  let nl = Vpga_designs.Alu.build ~width:4 () in
+  let pl = Placement.create (Compact.run Arch.granular_plb nl) in
+  Placement.scatter ~seed:3 pl;
+  pl
+
+let test_bbox_matches_scan () =
+  let pl = small_placement () in
+  let nets = Placement.nets_with_io pl in
+  Array.iter
+    (fun net ->
+      let b = Placement.Bbox.of_net pl net in
+      Alcotest.(check (float 1e-9))
+        "bbox hpwl = scan hpwl" (Placement.net_hpwl pl net)
+        (Placement.Bbox.hpwl b))
+    nets
+
+let test_bbox_incremental_consistency () =
+  (* Random move sequence: maintain cached bboxes through Bbox.shifted and
+     compare the running total against a fresh Placement.hpwl at every
+     step.  Exercises the rescan fallback (movers frequently sit alone on
+     a net boundary). *)
+  let pl = small_placement () in
+  let nets = Placement.nets_with_io pl in
+  let n_nodes = Array.length pl.Placement.x in
+  let incident = Array.make n_nodes [] in
+  Array.iteri
+    (fun e net -> Array.iter (fun id -> incident.(id) <- e :: incident.(id)) net)
+    nets;
+  let bbs = Array.map (Placement.Bbox.of_net pl) nets in
+  let total =
+    ref (Array.fold_left (fun a b -> a +. Placement.Bbox.hpwl b) 0.0 bbs)
+  in
+  let movable = pl.Placement.graph.Vpga_place.Hypergraph.node_of_vertex in
+  let rng = Random.State.make [| 42 |] in
+  for step = 1 to 500 do
+    let id = movable.(Random.State.int rng (Array.length movable)) in
+    let ox = pl.Placement.x.(id) and oy = pl.Placement.y.(id) in
+    (* Mix fresh positions with revisited ones so pins land exactly on
+       existing bounds (the multiplicity-count paths). *)
+    let nx, ny =
+      if Random.State.bool rng then
+        ( Random.State.float rng pl.Placement.die_w,
+          Random.State.float rng pl.Placement.die_h )
+      else
+        let other = Random.State.int rng n_nodes in
+        (pl.Placement.x.(other), pl.Placement.y.(other))
+    in
+    pl.Placement.x.(id) <- nx;
+    pl.Placement.y.(id) <- ny;
+    List.iter
+      (fun e ->
+        let bb' = Placement.Bbox.shifted pl bbs.(e) nets.(e) ~ox ~oy ~nx ~ny in
+        total := !total -. Placement.Bbox.hpwl bbs.(e) +. Placement.Bbox.hpwl bb';
+        bbs.(e) <- bb')
+      incident.(id);
+    if step mod 25 = 0 then
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "step %d: incremental total = fresh hpwl" step)
+        (Placement.hpwl ~nets pl) !total
+  done
+
+let test_anneal_still_improves () =
+  (* The incremental annealer on a scattered placement: cost must drop and
+     its final cost must equal a fresh full recomputation. *)
+  let pl = small_placement () in
+  Global.place ~seed:7 pl;
+  let before = Placement.hpwl pl in
+  let stats = Anneal.refine ~iterations:20000 ~seed:11 pl in
+  let after = Placement.hpwl pl in
+  Alcotest.(check bool)
+    (Printf.sprintf "anneal improves (%.0f -> %.0f)" before after)
+    true (after <= before);
+  Alcotest.(check bool) "accepted some moves" true (stats.Anneal.accepted > 0)
+
+(* --- Parallel sweep determinism --------------------------------------- *)
+
+let check_rows_identical r1 r2 =
+  let check_outcome label (a : Flow.outcome) (b : Flow.outcome) =
+    Alcotest.(check (float 0.0)) (label ^ " die area") a.Flow.die_area b.Flow.die_area;
+    Alcotest.(check (float 0.0)) (label ^ " wns") a.Flow.wns b.Flow.wns;
+    Alcotest.(check (float 0.0)) (label ^ " wirelength") a.Flow.wirelength b.Flow.wirelength;
+    Alcotest.(check (float 0.0)) (label ^ " slack") a.Flow.avg_top10_slack b.Flow.avg_top10_slack;
+    Alcotest.(check int) (label ^ " tiles") a.Flow.tiles_used b.Flow.tiles_used;
+    Alcotest.(check bool) (label ^ " config histogram") true
+      (a.Flow.config_histogram = b.Flow.config_histogram)
+  in
+  List.iter2
+    (fun (r1 : Experiments.row) (r2 : Experiments.row) ->
+      Alcotest.(check string) "design" r1.Experiments.name r2.Experiments.name;
+      List.iter2
+        (fun ((p1 : Flow.pair), tag) ((p2 : Flow.pair), _) ->
+          check_outcome (r1.Experiments.name ^ "/" ^ tag ^ "/a") p1.Flow.a p2.Flow.a;
+          check_outcome (r1.Experiments.name ^ "/" ^ tag ^ "/b") p1.Flow.b p2.Flow.b)
+        [ (r1.Experiments.lut, "lut"); (r1.Experiments.granular, "granular") ]
+        [ (r2.Experiments.lut, "lut"); (r2.Experiments.granular, "granular") ])
+    r1 r2
+
+let test_run_all_jobs_deterministic () =
+  let sequential = Experiments.run_all ~seed:1 ~jobs:1 Experiments.Test in
+  let parallel = Experiments.run_all ~seed:1 ~jobs:4 Experiments.Test in
+  check_rows_identical sequential parallel
+
+let () =
+  Alcotest.run "vpga_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submission order" `Quick test_results_in_submission_order;
+          Alcotest.test_case "more jobs than tasks" `Quick test_more_jobs_than_tasks;
+          Alcotest.test_case "jobs=1 inline" `Quick test_sequential_jobs1;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "reuse and shutdown" `Quick test_pool_reuse_and_shutdown;
+          Alcotest.test_case "bounded-queue backpressure" `Quick
+            test_bounded_queue_backpressure;
+        ] );
+      ( "incremental hpwl",
+        [
+          Alcotest.test_case "bbox = scan" `Quick test_bbox_matches_scan;
+          Alcotest.test_case "random-move consistency" `Quick
+            test_bbox_incremental_consistency;
+          Alcotest.test_case "anneal improves" `Quick test_anneal_still_improves;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "run_all jobs=1 == jobs=4" `Slow
+            test_run_all_jobs_deterministic;
+        ] );
+    ]
