@@ -3,12 +3,13 @@
 #   make            build + full test suite (tier-1 gate)
 #   make build      dune build
 #   make test       dune runtest
+#   make verify     lint + SAT-based formal equivalence suite only
 #   make bench      full paper reproduction + kernel benchmarks;
 #                   writes BENCH_sweep.json (JOBS=N to set worker domains)
 
 JOBS ?=
 
-.PHONY: all build test bench clean
+.PHONY: all build test verify bench clean
 
 all: build test
 
@@ -17,6 +18,9 @@ build:
 
 test:
 	dune build @runtest
+
+verify:
+	dune build @verify
 
 bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-jobs $(JOBS),)

@@ -5,7 +5,8 @@
      vpga configs             configuration delay/area table (E4)
      vpga compaction [-p]     compaction ablation (E5)
      vpga tables [-p]         Tables 1 and 2 plus the headline claims (E6-E8)
-     vpga flow -d NAME -a ARCH  one design through one architecture *)
+     vpga flow -d NAME -a ARCH  one design through one architecture
+     vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages *)
 
 open Cmdliner
 open Vpga_core.Vpga
@@ -77,28 +78,41 @@ let design_of_name paper name =
       Fmt.failwith "unknown design %s (alu, firewire, fpu, 'network switch')"
         name
 
+let arch_of_name arch_name =
+  match String.lowercase_ascii arch_name with
+  | "granular" | "granular_plb" -> Arch.granular_plb
+  | "granular2ff" | "granular_2ff" -> Arch.granular_2ff
+  | "lut" | "lut_plb" -> Arch.lut_plb
+  | other -> Fmt.failwith "unknown architecture %s" other
+
+let design_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "d"; "design" ] ~doc:"Design: alu, firewire, fpu, network switch.")
+
+let arch_arg =
+  Arg.(
+    value & opt string "granular"
+    & info [ "a"; "arch" ] ~doc:"PLB architecture: granular, lut, or granular2ff.")
+
+let verify_arg =
+  let level =
+    Arg.enum [ ("off", Flow.Off); ("fast", Flow.Fast); ("formal", Flow.Formal) ]
+  in
+  Arg.(
+    value & opt level Flow.Fast
+    & info [ "verify" ]
+        ~doc:
+          "Verification level: off (no checks), fast (lint + randomized \
+           equivalence + physical invariants), or formal (fast plus \
+           SAT-proven equivalence of every front-end stage).")
+
 let flow_cmd =
-  let design =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "d"; "design" ] ~doc:"Design: alu, firewire, fpu, network switch.")
-  in
-  let arch =
-    Arg.(
-      value & opt string "granular"
-      & info [ "a"; "arch" ] ~doc:"PLB architecture: granular, lut, or granular2ff.")
-  in
-  let run paper seed design arch_name =
+  let run paper seed design arch_name verify =
     let nl = design_of_name paper design in
-    let arch =
-      match String.lowercase_ascii arch_name with
-      | "granular" | "granular_plb" -> Arch.granular_plb
-      | "granular2ff" | "granular_2ff" -> Arch.granular_2ff
-      | "lut" | "lut_plb" -> Arch.lut_plb
-      | other -> Fmt.failwith "unknown architecture %s" other
-    in
-    let pair = run_flow ~seed arch nl in
+    let arch = arch_of_name arch_name in
+    let pair = run_flow ~seed ~verify arch nl in
     let show (o : Flow.outcome) =
       Format.printf
         "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
@@ -116,7 +130,55 @@ let flow_cmd =
     show pair.Flow.b
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
-    Term.(const run $ paper_flag $ seed_arg $ design $ arch)
+    Term.(const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg)
+
+let lint_cmd =
+  let formal_flag =
+    Arg.(
+      value & flag
+      & info [ "formal" ]
+          ~doc:
+            "Also prove each front-end stage equivalent to the source \
+             netlist with the SAT-based checker.")
+  in
+  let run paper design arch_name formal =
+    let nl = design_of_name paper design in
+    let arch = arch_of_name arch_name in
+    let report title nl' =
+      let ds = Lint.run nl' in
+      Format.printf "== %s ==@." title;
+      if ds = [] then Format.printf "clean@."
+      else Diag.pp_report Format.std_formatter ds;
+      Diag.has_errors ds
+    in
+    let stages =
+      [
+        ("source", nl);
+        ("techmap " ^ arch.Arch.name, Techmap.map arch nl);
+        ("compact " ^ arch.Arch.name, Compact.run arch nl);
+        ( "buffered " ^ arch.Arch.name,
+          Buffering.insert ~max_fanout:8 (Compact.run arch nl) );
+      ]
+    in
+    let any_error =
+      List.fold_left (fun acc (t, d) -> report t d || acc) false stages
+    in
+    if formal then
+      List.iter
+        (fun (title, d) ->
+          if d != nl then begin
+            Cec.prove ~stage:("cec:" ^ title) nl d;
+            Format.printf "cec %s: proven equivalent@." title
+          end)
+        stages;
+    if any_error then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Lint a design and its front-end stages (combinational loops, \
+          undriven pins, dead logic, duplicate names); exits 1 on errors")
+    Term.(const run $ paper_flag $ design_arg $ arch_arg $ formal_flag)
 
 let export_cmd =
   let design =
@@ -149,4 +211,4 @@ let export_cmd =
 let () =
   let doc = "VPGA logic-block granularity exploration (DATE 2004 reproduction)" in
   let info = Cmd.info "vpga" ~doc in
-  exit (Cmd.eval (Cmd.group info [ s3_cmd; fa_cmd; configs_cmd; compaction_cmd; tables_cmd; flow_cmd; export_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ s3_cmd; fa_cmd; configs_cmd; compaction_cmd; tables_cmd; flow_cmd; lint_cmd; export_cmd ]))

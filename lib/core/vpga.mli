@@ -56,6 +56,13 @@ module Flow = Vpga_flow.Flow
 module Experiments = Vpga_flow.Experiments
 module Report = Vpga_flow.Report
 module Export = Vpga_flow.Export
+module Diag = Vpga_verify.Diag
+module Lint = Vpga_verify.Lint
+module Sat = Vpga_verify.Sat
+module Cnf = Vpga_verify.Cnf
+module Sweep = Vpga_verify.Sweep
+module Cec = Vpga_verify.Cec
+module Phys = Vpga_verify.Phys
 
 (** {1 One-call entry points} *)
 
@@ -63,9 +70,12 @@ val classify_functions : unit -> S3.census
 (** Exhaustive Section-2.1 classification of the 256 3-input functions. *)
 
 val run_flow :
-  ?seed:int -> ?period:float -> Arch.t -> Netlist.t -> Flow.pair
-(** Both flows (ASIC-style a, packed-array b) on one architecture. *)
+  ?seed:int -> ?period:float -> ?verify:Flow.verify -> Arch.t -> Netlist.t ->
+  Flow.pair
+(** Both flows (ASIC-style a, packed-array b) on one architecture.
+    [verify] selects the verification level (default {!Flow.Fast}). *)
 
 val compare_architectures :
-  ?seed:int -> ?period:float -> Netlist.t -> Flow.pair * Flow.pair
+  ?seed:int -> ?period:float -> ?verify:Flow.verify -> Netlist.t ->
+  Flow.pair * Flow.pair
 (** [(lut, granular)] flow pairs for a design. *)

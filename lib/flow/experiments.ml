@@ -39,7 +39,7 @@ let task_seed ~seed name arch =
   String.iter (fun c -> h := mix !h (Char.code c)) arch.Arch.name;
   !h land 0x3FFFFFFF
 
-let run_all ?(seed = 1) ?jobs scale =
+let run_all ?(seed = 1) ?jobs ?verify scale =
   (* Populate every shared lazy table from this domain before workers
      race for them (Lazy.force is not domain-safe in OCaml 5). *)
   Config.prewarm ();
@@ -48,7 +48,8 @@ let run_all ?(seed = 1) ?jobs scale =
     List.concat_map
       (fun (name, nl) ->
         List.map
-          (fun arch () -> Flow.run ~seed:(task_seed ~seed name arch) arch nl)
+          (fun arch () ->
+            Flow.run ~seed:(task_seed ~seed name arch) ?verify arch nl)
           [ Arch.lut_plb; Arch.granular_plb ])
       ds
   in

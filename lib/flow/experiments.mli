@@ -13,14 +13,15 @@ val designs : scale -> (string * Vpga_netlist.Netlist.t) list
 
 type row = { name : string; lut : Flow.pair; granular : Flow.pair }
 
-val run_all : ?seed:int -> ?jobs:int -> scale -> row list
+val run_all : ?seed:int -> ?jobs:int -> ?verify:Flow.verify -> scale -> row list
 (** Both architectures through both flows on every design (Table 1 and
     Table 2 in one pass).  The eight (design, arch) flow runs execute on
     a pool of [jobs] worker domains ([Vpga_par.Pool]; default
     [Domain.recommended_domain_count () - 1], floor 1).  Results are
     independent of [jobs]: each run's RNG seed is derived from
     [(seed, design name, arch name)], so [~jobs:1] (fully sequential,
-    no domain spawned) and [~jobs:n] return identical rows. *)
+    no domain spawned) and [~jobs:n] return identical rows.  [verify]
+    is passed to each {!Flow.run} (default {!Flow.Fast}). *)
 
 (** Derived Section-3.2 claims, computed from the rows. *)
 type headline = {

@@ -14,8 +14,14 @@ module Pathfinder = Vpga_route.Pathfinder
 module Detail = Vpga_route.Detail
 module Sta = Vpga_timing.Sta
 module Power = Vpga_timing.Power
+module Lint = Vpga_verify.Lint
+module Cec = Vpga_verify.Cec
+module Phys = Vpga_verify.Phys
+module Diag = Vpga_verify.Diag
 
 type kind = Flow_a | Flow_b
+
+type verify = Off | Fast | Formal
 
 type outcome = {
   design : string;
@@ -47,21 +53,45 @@ let check_equivalence reference candidate =
         (Printf.sprintf "flow stage broke design %s (cycle %d, output %d)"
            (Netlist.design_name reference) cycle output)
 
+let check_structure ~stage nl =
+  match Netlist.validate nl with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "%s: invalid netlist: %s" stage msg)
+
 let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
-    ?anneal_iterations ?(refine = true) ?(use_criticality = true) arch nl =
+    ?anneal_iterations ?(refine = true) ?(use_criticality = true)
+    ?(verify = Fast) arch nl =
   let design = Netlist.design_name nl in
+  let vfast = verify <> Off in
+  let vformal = verify = Formal in
+  (* Structural well-formedness at every stage boundary. *)
+  let structure stage nl' = if vfast then check_structure ~stage nl' in
+  (* Functional equivalence against the source netlist: the randomized
+     simulation gate is a fast pre-filter; at [Formal] the SAT-based
+     checker then proves what simulation only sampled. *)
+  let equiv stage candidate =
+    if vfast then check_equivalence nl candidate;
+    if vformal then Cec.prove ~stage nl candidate
+  in
+  let phys stage diags = if vfast then Diag.fail_on_errors ~stage diags in
+  structure "verify:input" nl;
+  if vfast then Lint.check ~stage:"verify:lint" nl;
   let gate_count = Stats.gate_count nl in
   (* Front-end: map, compact, buffer. *)
   let mapped = Techmap.map arch nl in
+  structure "verify:techmap" mapped;
+  equiv "verify:techmap" mapped;
   let compacted = Compact.run arch nl in
-  check_equivalence nl compacted;
+  structure "verify:compact" compacted;
+  equiv "verify:compact" compacted;
   let compaction_gain =
     let before = Techmap.cell_area mapped in
     if before <= 0.0 then 0.0
     else 1.0 -. (Techmap.cell_area compacted /. before)
   in
   let buffered = Buffering.insert ~max_fanout:8 compacted in
-  check_equivalence nl buffered;
+  structure "verify:buffer" buffered;
+  equiv "verify:buffer" buffered;
   let cell_area = Techmap.cell_area buffered in
   let config_histogram = Compact.config_histogram buffered in
   (* Placement (shared). *)
@@ -79,17 +109,22 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     | None -> Some (min 400_000 (40 * Netlist.size buffered))
   in
   ignore (Anneal.refine ?iterations ~criticality:crit ~seed:(seed + 1) pl);
+  phys "verify:placement(a)" (Phys.check_placement pl);
   let activities = Power.activities ~seed:(seed + 7) buffered in
   (* ---- Flow a: ASIC-style ---- *)
   let routed_a = Pathfinder.route_placement pl in
+  phys "verify:routing(a)" (Phys.check_routing routed_a pl);
   let wire_a = Pathfinder.wire_loads routed_a in
-  let detail_vias routed =
+  let detail_vias stage routed =
     (* track assignment needs an overflow-free global result *)
-    if routed.Pathfinder.final_overflow = 0 then
-      (Detail.run routed.Pathfinder.grid routed.Pathfinder.routes).Detail.total_vias
+    if routed.Pathfinder.final_overflow = 0 then begin
+      let d = Detail.run routed.Pathfinder.grid routed.Pathfinder.routes in
+      phys stage (Phys.check_tracks d routed.Pathfinder.routes);
+      d.Detail.total_vias
+    end
     else -1
   in
-  let vias_a = detail_vias routed_a in
+  let vias_a = detail_vias "verify:tracks(a)" routed_a in
   let sta_a = Sta.run ~period ~wire:wire_a buffered in
   let power_a = Power.estimate ~period ~wire:wire_a ~activities buffered in
   let outcome_a =
@@ -115,6 +150,7 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
   in
   (* ---- Flow b: pack into the PLB array ---- *)
   let q = Quadrisect.legalize ~criticality:crit arch pl in
+  phys "verify:packing" (Phys.check_packing q buffered);
   let side = sqrt arch.Arch.tile_area in
   let pl_b =
     {
@@ -131,9 +167,11 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
       (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
          ~iterations:(min 400_000 (60 * Netlist.size buffered))
          q pl_b);
+  phys "verify:placement(b)" (Phys.check_placement pl_b);
   let routed_b = Pathfinder.route_placement pl_b in
+  phys "verify:routing(b)" (Phys.check_routing routed_b pl_b);
   let wire_b = Pathfinder.wire_loads routed_b in
-  let vias_b = detail_vias routed_b in
+  let vias_b = detail_vias "verify:tracks(b)" routed_b in
   let sta_b = Sta.run ~period ~wire:wire_b buffered in
   let power_b = Power.estimate ~period ~wire:wire_b ~activities buffered in
   let outcome_b =

@@ -13,6 +13,20 @@
 
 type kind = Flow_a | Flow_b
 
+type verify = Off | Fast | Formal
+(** Verification level threaded through {!run}:
+
+    - [Off] runs no checks at all (ablation / raw-speed benchmarking);
+    - [Fast] (the default) checks structural well-formedness
+      ({!Vpga_netlist.Netlist.validate}) and lint at every stage boundary,
+      gates each front-end stage with the randomized simulation
+      equivalence check, and enforces the physical invariants (placement
+      legality, PLB packing coverage and feasibility, routing
+      connectivity and capacity, detailed-track consistency);
+    - [Formal] additionally {e proves} each front-end stage equivalent to
+      the source netlist with the SAT-based combinational equivalence
+      checker in {!Vpga_verify.Cec}. *)
+
 type outcome = {
   design : string;
   arch : Vpga_plb.Arch.t;
@@ -45,6 +59,7 @@ val run :
   ?anneal_iterations:int ->
   ?refine:bool ->
   ?use_criticality:bool ->
+  ?verify:verify ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -54,8 +69,14 @@ val run :
     deterministically.  [refine] (true) enables the packing <->
     physical-synthesis iteration; [use_criticality] (true) enables
     timing-criticality weighting in placement and packing — both exist for
-    the ablation benches. *)
+    the ablation benches.  [verify] (default {!Fast}) selects the
+    verification level; see {!type-verify}.
+    @raise Failure when an enabled verification check finds a violation. *)
 
 val check_equivalence : Vpga_netlist.Netlist.t -> Vpga_netlist.Netlist.t -> unit
 (** Randomized equivalence gate used between flow stages.
     @raise Failure on a mismatch. *)
+
+val check_structure : stage:string -> Vpga_netlist.Netlist.t -> unit
+(** {!Vpga_netlist.Netlist.validate} as a hard flow gate.
+    @raise Failure when the netlist is structurally invalid. *)

@@ -14,6 +14,10 @@ type t = {
   max_track : int;  (** highest track index used anywhere *)
 }
 
+val bins_of : Grid.t -> int -> int * int
+(** The two bins an edge joins (independent of any track assignment);
+    exposed for the routing-connectivity checker in [vpga_verify]. *)
+
 val run : Grid.t -> Router.route list -> t
 (** @raise Failure if an edge holds more nets than its capacity (cannot
     happen on an overflow-free PathFinder result). *)

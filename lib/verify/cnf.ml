@@ -1,0 +1,56 @@
+(* Tseitin encoding of an AIG cone into CNF.
+
+   The encoding exploits the shared literal convention: an AIG literal
+   (2 * node + complement) is used verbatim as a SAT literal over variable
+   [node], so no translation table is needed.  Only the cone of the
+   requested roots is encoded; nodes outside it stay unconstrained. *)
+
+module Aig = Vpga_aig.Aig
+
+type t = { nvars : int; clauses : int array list }
+
+(* Clauses for c <-> a AND b, with c the positive literal of an AND node. *)
+let and_clauses c a b =
+  [ [| c lxor 1; a |]; [| c lxor 1; b |]; [| c; a lxor 1; b lxor 1 |] ]
+
+(* Defining clauses for the union of the cones of [roots] under the AIG's
+   AND semantics (no root asserted). *)
+let cone_clauses aig roots =
+  let n = Aig.size aig in
+  let visited = Array.make n false in
+  let clauses = ref [] in
+  let stack = ref (List.map Aig.node_of roots) in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if not visited.(id) then begin
+          visited.(id) <- true;
+          if Aig.is_const id then
+            (* Node 0 is constant false. *)
+            clauses := [| 1 |] :: !clauses
+          else if not (Aig.is_pi aig id) then begin
+            let f0, f1 = Aig.fanins aig id in
+            clauses := and_clauses (2 * id) f0 f1 @ !clauses;
+            stack := Aig.node_of f0 :: Aig.node_of f1 :: !stack
+          end
+        end
+  done;
+  !clauses
+
+(* CNF whose models are exactly the assignments of the cone of [root] with
+   [root] asserted true. *)
+let of_cone aig root =
+  { nvars = Aig.size aig; clauses = [| root |] :: cone_clauses aig [ root ] }
+
+(* CNF whose models are exactly the cone assignments under which literals
+   [p] and [q] differ: both cones plus the inequality clauses (p or q) and
+   (not p or not q).  Used by the SAT sweeper to test a candidate merge
+   without materializing an XOR in the AIG. *)
+let of_inequiv aig p q =
+  {
+    nvars = Aig.size aig;
+    clauses =
+      [| p; q |] :: [| p lxor 1; q lxor 1 |] :: cone_clauses aig [ p; q ];
+  }

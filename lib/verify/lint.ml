@@ -1,0 +1,209 @@
+(* Netlist lint: static well-formedness checks beyond the basic
+   [Netlist.validate] structural pass.
+
+   - combinational loops, found as non-trivial SCCs of the combinational
+     edge graph (flop D pins are sequential boundaries and cut the graph);
+   - undriven pins: dangling fanin ids, unconnected flop D inputs;
+   - arity mismatches between a node's kind and its fanin list;
+   - dead logic: nodes from which no primary output is reachable, even
+     through flop boundaries (the output-unreachable cone);
+   - unused primary inputs (a warning-level special case of dead logic);
+   - duplicate primary input / output names;
+   - missing primary outputs.
+
+   Every finding is a structured {!Diag.t} carrying the offending node ids,
+   so callers can map a report back to netlist provenance. *)
+
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+
+let in_range nl f = f >= 0 && f < Netlist.size nl
+
+(* Combinational fanins: a flop's D edge is a sequential boundary.  Dangling
+   ids are dropped here (reported separately by the structural pass). *)
+let comb_fanins nl n =
+  match n.Netlist.kind with
+  | Kind.Dff -> [||]
+  | _ -> Array.of_list (List.filter (in_range nl) (Array.to_list n.Netlist.fanins))
+
+(* Tarjan's strongly-connected components over the combinational edge graph,
+   iterative so deep netlists cannot overflow the stack.  Returns only the
+   cyclic SCCs: components of size > 1, or single nodes with a self-edge. *)
+let combinational_sccs nl =
+  let n = Netlist.size nl in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let visit root =
+    (* Explicit DFS stack: (node, fanins, next fanin position). *)
+    let work = ref [] in
+    let push v =
+      index.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      work := (v, comb_fanins nl (Netlist.node nl v), ref 0) :: !work
+    in
+    push root;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, fis, pos) :: rest ->
+          if !pos < Array.length fis then begin
+            let w = fis.(!pos) in
+            incr pos;
+            if index.(w) < 0 then push w
+            else if on_stack.(w) then
+              lowlink.(v) <- min lowlink.(v) index.(w)
+          end
+          else begin
+            work := rest;
+            (match rest with
+            | (parent, _, _) :: _ ->
+                lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              let rec pop acc =
+                match !stack with
+                | [] -> acc
+                | w :: tl ->
+                    stack := tl;
+                    on_stack.(w) <- false;
+                    if w = v then w :: acc else pop (w :: acc)
+              in
+              let comp = pop [] in
+              let cyclic =
+                match comp with
+                | [ w ] ->
+                    Array.exists (fun f -> f = w)
+                      (comb_fanins nl (Netlist.node nl w))
+                | _ -> List.length comp > 1
+              in
+              if cyclic then sccs := comp :: !sccs
+            end
+          end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  List.rev !sccs
+
+(* Nodes from which some primary output is reachable, traversing fanins from
+   the POs and crossing flop D edges (a flop that only feeds flops feeding a
+   PO is alive). *)
+let live_cone nl =
+  let n = Netlist.size nl in
+  let live = Array.make n false in
+  let work = ref (Netlist.outputs nl) in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | i :: rest ->
+        work := rest;
+        if not live.(i) then begin
+          live.(i) <- true;
+          Array.iter
+            (fun f -> if in_range nl f && not live.(f) then work := f :: !work)
+            (Netlist.node nl i).Netlist.fanins
+        end
+  done;
+  live
+
+let duplicates names =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (id, name) ->
+      if Hashtbl.mem seen name then Some (id, name)
+      else begin
+        Hashtbl.add seen name id;
+        None
+      end)
+    names
+
+let io_names nl ids =
+  List.map
+    (fun i ->
+      (i, Option.value ~default:(Printf.sprintf "<anon%d>" i)
+            (Netlist.node nl i).Netlist.name))
+    ids
+
+let run nl =
+  let n = Netlist.size nl in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Structural: arity and dangling / undriven pins. *)
+  for i = 0 to n - 1 do
+    let node = Netlist.node nl i in
+    if
+      Array.length node.Netlist.fanins <> Kind.arity node.Netlist.kind
+      && node.Netlist.kind <> Kind.Output
+    then
+      add
+        (Diag.error ~nodes:[ i ] "arity-mismatch"
+           "node %d (%s): has %d fanins, kind expects %d" i
+           (Kind.name node.Netlist.kind)
+           (Array.length node.Netlist.fanins)
+           (Kind.arity node.Netlist.kind));
+    Array.iteri
+      (fun k f ->
+        if not (in_range nl f) then
+          if node.Netlist.kind = Kind.Dff && f < 0 then
+            add
+              (Diag.error ~nodes:[ i ] "undriven-pin"
+                 "flop %d: D input is unconnected" i)
+          else
+            add
+              (Diag.error ~nodes:[ i ] "undriven-pin"
+                 "node %d (%s): fanin %d references missing driver %d" i
+                 (Kind.name node.Netlist.kind) k f))
+      node.Netlist.fanins
+  done;
+  (* Interface checks. *)
+  if Netlist.outputs nl = [] then
+    add (Diag.error "no-outputs" "netlist has no primary outputs");
+  List.iter
+    (fun (id, name) ->
+      add
+        (Diag.error ~nodes:[ id ] "dup-name"
+           "duplicate primary input name %S" name))
+    (duplicates (io_names nl (Netlist.inputs nl)));
+  List.iter
+    (fun (id, name) ->
+      add
+        (Diag.error ~nodes:[ id ] "dup-name"
+           "duplicate primary output name %S" name))
+    (duplicates (io_names nl (Netlist.outputs nl)));
+  (* Combinational loops. *)
+  List.iter
+    (fun comp ->
+      add
+        (Diag.error ~nodes:comp "comb-loop"
+           "combinational loop through %d node(s)" (List.length comp)))
+    (combinational_sccs nl);
+  (* Dead logic: output-unreachable cones. *)
+  let live = live_cone nl in
+  let dead_gates = ref [] and dead_inputs = ref [] in
+  for i = n - 1 downto 0 do
+    if not live.(i) then
+      match (Netlist.node nl i).Netlist.kind with
+      | Kind.Input -> dead_inputs := i :: !dead_inputs
+      | Kind.Output -> ()
+      | _ -> dead_gates := i :: !dead_gates
+  done;
+  if !dead_gates <> [] then
+    add
+      (Diag.warning ~nodes:!dead_gates "dead-logic"
+         "%d node(s) reach no primary output" (List.length !dead_gates));
+  if !dead_inputs <> [] then
+    add
+      (Diag.warning ~nodes:!dead_inputs "unused-input"
+         "%d primary input(s) reach no primary output"
+         (List.length !dead_inputs));
+  Diag.sort (List.rev !diags)
+
+let check ~stage nl = Diag.fail_on_errors ~stage (run nl)
