@@ -4,12 +4,13 @@
 #   make build      dune build
 #   make test       dune runtest
 #   make verify     lint + SAT-based formal equivalence suite only
+#   make faults     fault-injection + retry/escalation resilience suite only
 #   make bench      full paper reproduction + kernel benchmarks;
 #                   writes BENCH_sweep.json (JOBS=N to set worker domains)
 
 JOBS ?=
 
-.PHONY: all build test verify bench clean
+.PHONY: all build test verify faults bench clean
 
 all: build test
 
@@ -21,6 +22,9 @@ test:
 
 verify:
 	dune build @verify
+
+faults:
+	dune build @faults
 
 bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-jobs $(JOBS),)

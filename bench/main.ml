@@ -27,6 +27,7 @@ let () =
     "bench/main.exe [-jobs N] [-json FILE]"
 
 let sweep_seconds = ref 0.0
+let sweep_recovery = ref Recovery.zero
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -42,10 +43,17 @@ let reproduce_tables () =
   Report.compaction Format.std_formatter Experiments.Paper;
   section "E6-E9: Full evaluation (paper-scale designs, both PLBs, both flows)";
   let t0 = Unix.gettimeofday () in
-  let rows = Experiments.run_all ~seed:1 ~jobs:!jobs Experiments.Paper in
+  let reports = Experiments.run_tasks ~seed:1 ~jobs:!jobs Experiments.Paper in
   sweep_seconds := Unix.gettimeofday () -. t0;
-  Format.printf "(flow sweep took %.1f s on %d worker domain%s)@.@."
-    !sweep_seconds !jobs (if !jobs = 1 then "" else "s");
+  sweep_recovery := Experiments.recovery reports;
+  let rows = Experiments.rows reports in
+  Format.printf
+    "(flow sweep took %.1f s on %d worker domain%s; %d retried attempt(s), \
+     %d escalation(s), %d degraded guarantee(s))@.@."
+    !sweep_seconds !jobs
+    (if !jobs = 1 then "" else "s")
+    !sweep_recovery.Recovery.retries !sweep_recovery.Recovery.escalations
+    !sweep_recovery.Recovery.degraded;
   Report.table1 Format.std_formatter rows;
   Format.printf "@.";
   Report.table2 Format.std_formatter rows;
@@ -167,6 +175,9 @@ let write_json kernels =
   out "  \"jobs\": %d,\n" !jobs;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"sweep_wall_s\": %.3f,\n" !sweep_seconds;
+  out "  \"recovery\": { \"retries\": %d, \"escalations\": %d, \"degraded\": %d },\n"
+    !sweep_recovery.Recovery.retries !sweep_recovery.Recovery.escalations
+    !sweep_recovery.Recovery.degraded;
   out "  \"kernels_ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->

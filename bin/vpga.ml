@@ -6,6 +6,7 @@
      vpga compaction [-p]     compaction ablation (E5)
      vpga tables [-p]         Tables 1 and 2 plus the headline claims (E6-E8)
      vpga flow -d NAME -a ARCH  one design through one architecture
+     vpga sweep [-p] [-j N]   fault-isolated sweep with a recovery summary
      vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages *)
 
 open Cmdliner
@@ -108,11 +109,24 @@ let verify_arg =
            equivalence + physical invariants), or formal (fast plus \
            SAT-proven equivalence of every front-end stage).")
 
+let policy_arg =
+  let policy =
+    Arg.enum [ ("default", Policy.default); ("strict", Policy.strict) ]
+  in
+  Arg.(
+    value & opt policy Policy.default
+    & info [ "policy" ]
+        ~doc:
+          "Retry-with-escalation policy: default (up to 4 attempts per \
+           stage with escalating channel capacity / array size / anneal \
+           restarts, and Formal->Fast degradation on undecided SAT \
+           proofs), or strict (one attempt, any stage failure is final).")
+
 let flow_cmd =
-  let run paper seed design arch_name verify =
+  let run paper seed design arch_name verify policy =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
-    let pair = run_flow ~seed ~verify arch nl in
+    let pair = run_flow ~seed ~verify ~policy arch nl in
     let show (o : Flow.outcome) =
       Format.printf
         "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
@@ -130,7 +144,52 @@ let flow_cmd =
     show pair.Flow.b
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
-    Term.(const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg)
+    Term.(
+      const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg
+      $ policy_arg)
+
+let sweep_cmd =
+  let run paper seed jobs verify policy =
+    let reports =
+      Experiments.run_tasks ~seed ~jobs ~verify ~policy (scale_of paper)
+    in
+    let failed =
+      List.length (List.filter (fun r -> Result.is_error r.Experiments.t_result) reports)
+    in
+    List.iter
+      (fun r ->
+        let s = r.Experiments.t_recovery in
+        match r.Experiments.t_result with
+        | Ok pair ->
+            Format.printf
+              "%-16s %-14s ok      die %.0f/%.0f um^2  (retries %d, \
+               escalations %d, degraded %d)@."
+              r.Experiments.t_design r.Experiments.t_arch.Arch.name
+              pair.Flow.a.Flow.die_area pair.Flow.b.Flow.die_area
+              s.Recovery.retries s.Recovery.escalations s.Recovery.degraded
+        | Error f ->
+            Format.printf "%-16s %-14s FAILED  %s@." r.Experiments.t_design
+              r.Experiments.t_arch.Arch.name (Fail.to_string f);
+            List.iter (fun e -> Format.printf "    %s@." e) f.Fail.events)
+      reports;
+    let tot = Experiments.recovery reports in
+    Format.printf
+      "@.recovery: %d retried attempt(s), %d escalation(s), %d degraded \
+       guarantee(s)@."
+      tot.Recovery.retries tot.Recovery.escalations tot.Recovery.degraded;
+    Format.printf "%d/%d task(s) completed@."
+      (List.length reports - failed)
+      (List.length reports);
+    if failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the full (design x architecture) sweep with per-task fault \
+          isolation: one task exhausting its retry policy is reported as a \
+          failure record while the rest complete.  Exits nonzero only if a \
+          task failed.")
+    Term.(const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg)
 
 let lint_cmd =
   let formal_flag =
@@ -211,4 +270,17 @@ let export_cmd =
 let () =
   let doc = "VPGA logic-block granularity exploration (DATE 2004 reproduction)" in
   let info = Cmd.info "vpga" ~doc in
-  exit (Cmd.eval (Cmd.group info [ s3_cmd; fa_cmd; configs_cmd; compaction_cmd; tables_cmd; flow_cmd; lint_cmd; export_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            s3_cmd;
+            fa_cmd;
+            configs_cmd;
+            compaction_cmd;
+            tables_cmd;
+            flow_cmd;
+            sweep_cmd;
+            lint_cmd;
+            export_cmd;
+          ]))

@@ -50,10 +50,16 @@ module Cnf = Vpga_verify.Cnf
 module Sweep = Vpga_verify.Sweep
 module Cec = Vpga_verify.Cec
 module Phys = Vpga_verify.Phys
+module Fail = Vpga_resil.Fail
+module Policy = Vpga_resil.Policy
+module Recovery = Vpga_resil.Log
+module Retry = Vpga_resil.Retry
+module Inject = Vpga_resil.Inject
 
 let classify_functions () = S3.census ()
 
-let run_flow ?seed ?period ?verify arch nl = Flow.run ?seed ?period ?verify arch nl
+let run_flow ?seed ?period ?verify ?policy arch nl =
+  Flow.run ?seed ?period ?verify ?policy arch nl
 
 let compare_architectures ?seed ?period ?verify nl =
   ( Flow.run ?seed ?period ?verify Arch.lut_plb nl,

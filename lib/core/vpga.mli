@@ -63,6 +63,11 @@ module Cnf = Vpga_verify.Cnf
 module Sweep = Vpga_verify.Sweep
 module Cec = Vpga_verify.Cec
 module Phys = Vpga_verify.Phys
+module Fail = Vpga_resil.Fail
+module Policy = Vpga_resil.Policy
+module Recovery = Vpga_resil.Log
+module Retry = Vpga_resil.Retry
+module Inject = Vpga_resil.Inject
 
 (** {1 One-call entry points} *)
 
@@ -70,10 +75,12 @@ val classify_functions : unit -> S3.census
 (** Exhaustive Section-2.1 classification of the 256 3-input functions. *)
 
 val run_flow :
-  ?seed:int -> ?period:float -> ?verify:Flow.verify -> Arch.t -> Netlist.t ->
-  Flow.pair
+  ?seed:int -> ?period:float -> ?verify:Flow.verify -> ?policy:Policy.t ->
+  Arch.t -> Netlist.t -> Flow.pair
 (** Both flows (ASIC-style a, packed-array b) on one architecture.
-    [verify] selects the verification level (default {!Flow.Fast}). *)
+    [verify] selects the verification level (default {!Flow.Fast});
+    [policy] the retry-with-escalation policy (default
+    {!Policy.default}). *)
 
 val compare_architectures :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> Netlist.t ->

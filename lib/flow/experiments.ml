@@ -28,6 +28,13 @@ let designs scale =
 
 type row = { name : string; lut : Flow.pair; granular : Flow.pair }
 
+type task_report = {
+  t_design : string;
+  t_arch : Arch.t;
+  t_result : (Flow.pair, Vpga_resil.Fail.t) result;
+  t_recovery : Vpga_resil.Log.summary;
+}
+
 (* Each (design, arch) flow run is an independent task with its own RNG
    seed derived from the task identity — never from a shared Random.State
    or from submission order — so the sweep's results do not depend on how
@@ -39,28 +46,73 @@ let task_seed ~seed name arch =
   String.iter (fun c -> h := mix !h (Char.code c)) arch.Arch.name;
   !h land 0x3FFFFFFF
 
-let run_all ?(seed = 1) ?jobs ?verify scale =
+let run_tasks ?(seed = 1) ?jobs ?verify ?policy ?designs:ds scale =
   (* Populate every shared lazy table from this domain before workers
      race for them (Lazy.force is not domain-safe in OCaml 5). *)
   Config.prewarm ();
-  let ds = designs scale in
+  let ds = match ds with Some ds -> ds | None -> designs scale in
   let tasks =
     List.concat_map
       (fun (name, nl) ->
         List.map
           (fun arch () ->
-            Flow.run ~seed:(task_seed ~seed name arch) ?verify arch nl)
+            (* Fault isolation: whatever one task dies with becomes its
+               own failure record; sibling tasks never see it. *)
+            let log = Vpga_resil.Log.create () in
+            let result =
+              try
+                Ok
+                  (Flow.run ~seed:(task_seed ~seed name arch) ?verify ?policy
+                     ~log arch nl)
+              with
+              | Vpga_resil.Fail.Stage_failure f -> Error f
+              | e ->
+                  Error
+                    (Vpga_resil.Fail.of_exn ~stage:"flow" ~design:name
+                       ~attempts:1
+                       ~events:(Vpga_resil.Log.strings log)
+                       e)
+            in
+            {
+              t_design = name;
+              t_arch = arch;
+              t_result = result;
+              t_recovery = Vpga_resil.Log.summary log;
+            })
           [ Arch.lut_plb; Arch.granular_plb ])
       ds
   in
-  let rec pair_up ds results =
-    match (ds, results) with
-    | [], [] -> []
-    | (name, _) :: ds', lut :: granular :: rest ->
-        { name; lut; granular } :: pair_up ds' rest
+  Vpga_par.Pool.run ?jobs tasks
+
+let recovery reports =
+  List.fold_left
+    (fun acc r -> Vpga_resil.Log.add acc r.t_recovery)
+    Vpga_resil.Log.zero reports
+
+(* Rows for the table renderers; re-raises the first per-task failure
+   (in task order), so callers that cannot render a partial sweep keep
+   the fail-fast contract. *)
+let rows reports =
+  (match
+     List.find_opt (fun r -> Result.is_error r.t_result) reports
+   with
+  | Some { t_result = Error f; _ } -> Vpga_resil.Fail.raise_ f
+  | Some _ | None -> ());
+  let rec pair_up = function
+    | [] -> []
+    | a :: b :: rest when a.t_design = b.t_design ->
+        {
+          name = a.t_design;
+          lut = Result.get_ok a.t_result;
+          granular = Result.get_ok b.t_result;
+        }
+        :: pair_up rest
     | _ -> assert false
   in
-  pair_up ds (Vpga_par.Pool.run ?jobs tasks)
+  pair_up reports
+
+let run_all ?seed ?jobs ?verify ?policy scale =
+  rows (run_tasks ?seed ?jobs ?verify ?policy scale)
 
 type headline = {
   datapath_area_reduction : float;

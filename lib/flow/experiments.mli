@@ -13,15 +13,55 @@ val designs : scale -> (string * Vpga_netlist.Netlist.t) list
 
 type row = { name : string; lut : Flow.pair; granular : Flow.pair }
 
-val run_all : ?seed:int -> ?jobs:int -> ?verify:Flow.verify -> scale -> row list
-(** Both architectures through both flows on every design (Table 1 and
-    Table 2 in one pass).  The eight (design, arch) flow runs execute on
-    a pool of [jobs] worker domains ([Vpga_par.Pool]; default
-    [Domain.recommended_domain_count () - 1], floor 1).  Results are
-    independent of [jobs]: each run's RNG seed is derived from
-    [(seed, design name, arch name)], so [~jobs:1] (fully sequential,
-    no domain spawned) and [~jobs:n] return identical rows.  [verify]
-    is passed to each {!Flow.run} (default {!Flow.Fast}). *)
+type task_report = {
+  t_design : string;
+  t_arch : Vpga_plb.Arch.t;
+  t_result : (Flow.pair, Vpga_resil.Fail.t) result;
+      (** the flow pair, or the typed failure that exhausted the policy *)
+  t_recovery : Vpga_resil.Log.summary;
+      (** retry/escalation/degradation counts for this task alone *)
+}
+
+val run_tasks :
+  ?seed:int ->
+  ?jobs:int ->
+  ?verify:Flow.verify ->
+  ?policy:Vpga_resil.Policy.t ->
+  ?designs:(string * Vpga_netlist.Netlist.t) list ->
+  scale ->
+  task_report list
+(** The fault-isolated sweep: every (design, arch) flow run becomes a
+    {!task_report}, so one task exhausting its retry policy yields a
+    per-task failure record while the remaining tasks complete.  Reports
+    come back in task order (designs x [lut; granular]).  [designs]
+    overrides the benchmark list (fault-injection tests sweep corrupted
+    designs alongside healthy ones).  Never raises for a task failure. *)
+
+val recovery : task_report list -> Vpga_resil.Log.summary
+(** Aggregate recovery counters across a sweep's reports. *)
+
+val rows : task_report list -> row list
+(** Pair each design's two architecture reports into a table row.
+    @raise Vpga_resil.Fail.Stage_failure the first per-task failure, in
+    task order — for callers that cannot render a partial sweep. *)
+
+val run_all :
+  ?seed:int ->
+  ?jobs:int ->
+  ?verify:Flow.verify ->
+  ?policy:Vpga_resil.Policy.t ->
+  scale ->
+  row list
+(** [rows (run_tasks ...)]: both architectures through both flows on
+    every design (Table 1 and Table 2 in one pass).  The eight
+    (design, arch) flow runs execute on a pool of [jobs] worker domains
+    ([Vpga_par.Pool]; default [Domain.recommended_domain_count () - 1],
+    floor 1).  Results are independent of [jobs]: each run's RNG seed is
+    derived from [(seed, design name, arch name)], so [~jobs:1] (fully
+    sequential, no domain spawned) and [~jobs:n] return identical rows —
+    including any policy-driven retries, whose knobs and reseeds are
+    pure functions of the task seed and attempt index.  [verify] is
+    passed to each {!Flow.run} (default {!Flow.Fast}). *)
 
 (** Derived Section-3.2 claims, computed from the rows. *)
 type headline = {

@@ -11,6 +11,7 @@ module Anneal = Vpga_place.Anneal
 module Buffering = Vpga_place.Buffering
 module Quadrisect = Vpga_pack.Quadrisect
 module Pathfinder = Vpga_route.Pathfinder
+module Grid = Vpga_route.Grid
 module Detail = Vpga_route.Detail
 module Sta = Vpga_timing.Sta
 module Power = Vpga_timing.Power
@@ -18,6 +19,10 @@ module Lint = Vpga_verify.Lint
 module Cec = Vpga_verify.Cec
 module Phys = Vpga_verify.Phys
 module Diag = Vpga_verify.Diag
+module Fail = Vpga_resil.Fail
+module Policy = Vpga_resil.Policy
+module Log = Vpga_resil.Log
+module Retry = Vpga_resil.Retry
 
 type kind = Flow_a | Flow_b
 
@@ -60,22 +65,105 @@ let check_structure ~stage nl =
 
 let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     ?anneal_iterations ?(refine = true) ?(use_criticality = true)
-    ?(verify = Fast) arch nl =
+    ?(verify = Fast) ?(policy = Policy.default) ?log arch nl =
   let design = Netlist.design_name nl in
+  let log = match log with Some l -> l | None -> Log.create () in
   let vfast = verify <> Off in
   let vformal = verify = Formal in
+  (* Verification gates abort with a *typed* failure: the stage name,
+     attempt count and the diagnostics that condemned it. *)
+  let guard ?(attempts = 1) stage f =
+    try f ()
+    with Failure msg ->
+      Fail.raise_
+        (Fail.make ~stage ~design ~attempts
+           ~diags:[ Diag.error "verify-failed" "%s" msg ]
+           ~events:(Log.strings log) ())
+  in
   (* Structural well-formedness at every stage boundary. *)
-  let structure stage nl' = if vfast then check_structure ~stage nl' in
+  let structure stage nl' =
+    if vfast then guard stage (fun () -> check_structure ~stage nl')
+  in
+  (* Formal proofs walk the policy's conflict-budget ladder; when every
+     budget comes back [Undecided] the stage degrades Formal -> Fast
+     (the randomized gate already passed) with a recorded warning. *)
+  let formal_prove stage candidate =
+    let refute attempts { Cec.root; root_is_flop; _ } =
+      Fail.raise_
+        (Fail.make ~stage ~design ~attempts
+           ~diags:
+             [
+               Diag.error "cec-refuted"
+                 "SAT equivalence check refuted design %s (%s %d differs)"
+                 design
+                 (if root_is_flop then "flop D pin" else "output")
+                 root;
+             ]
+           ~events:(Log.strings log) ())
+    in
+    let degrade () =
+      Log.record log
+        (Log.Degraded
+           {
+             stage;
+             what =
+               "SAT proof undecided within the policy's conflict budgets; \
+                relying on the randomized equivalence gate";
+           })
+    in
+    let rec go attempt = function
+      | [] -> degrade ()
+      | budget :: rest -> (
+          let verdict =
+            match budget with
+            | None -> (
+                match Cec.check nl candidate with
+                | Cec.Equivalent -> Cec.Proved
+                | Cec.Inequivalent cex -> Cec.Refuted cex)
+            | Some mc -> Cec.check_bounded ~max_conflicts:mc nl candidate
+          in
+          match verdict with
+          | Cec.Proved -> ()
+          | Cec.Refuted cex -> refute (attempt + 1) cex
+          | Cec.Undecided -> (
+              match rest with
+              | [] -> degrade ()
+              | next :: _ ->
+                  let show = function
+                    | Some b -> string_of_int b
+                    | None -> "unbounded"
+                  in
+                  Log.record log
+                    (Log.Retry
+                       {
+                         stage;
+                         attempt = attempt + 1;
+                         reason = "SAT proof undecided within conflict budget";
+                       });
+                  Log.record log
+                    (Log.Escalation
+                       {
+                         stage;
+                         what =
+                           Printf.sprintf "conflict budget %s -> %s"
+                             (show budget) (show next);
+                       });
+                  go (attempt + 1) rest))
+    in
+    go 0 policy.Policy.cec_budgets
+  in
   (* Functional equivalence against the source netlist: the randomized
      simulation gate is a fast pre-filter; at [Formal] the SAT-based
      checker then proves what simulation only sampled. *)
   let equiv stage candidate =
-    if vfast then check_equivalence nl candidate;
-    if vformal then Cec.prove ~stage nl candidate
+    if vfast then guard stage (fun () -> check_equivalence nl candidate);
+    if vformal then formal_prove stage candidate
   in
-  let phys stage diags = if vfast then Diag.fail_on_errors ~stage diags in
+  let phys stage diags =
+    if vfast then guard stage (fun () -> Diag.fail_on_errors ~stage diags)
+  in
   structure "verify:input" nl;
-  if vfast then Lint.check ~stage:"verify:lint" nl;
+  if vfast then guard "verify:lint" (fun () -> Lint.check ~stage:"verify:lint" nl);
   let gate_count = Stats.gate_count nl in
   (* Front-end: map, compact, buffer. *)
   let mapped = Techmap.map arch nl in
@@ -108,23 +196,129 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     | Some i -> Some i
     | None -> Some (min 400_000 (40 * Netlist.size buffered))
   in
-  ignore (Anneal.refine ?iterations ~criticality:crit ~seed:(seed + 1) pl);
+  (* Annealing with divergence detection: if a walk ends above its
+     starting cost, restore the pre-anneal placement and restart with a
+     derived reseed at a cooler temperature; attempt 0 reproduces the
+     policy-free flow exactly.  Exhaustion is survivable — the pre-anneal
+     (global) placement is already legal, so the flow continues on it. *)
+  let () =
+    let stage = "place:anneal" in
+    let base_seed = seed + 1 in
+    let n = Array.length pl.Placement.x in
+    let rec go attempt t_start =
+      let sx = Array.copy pl.Placement.x and sy = Array.copy pl.Placement.y in
+      let stats =
+        Anneal.refine ?iterations ~criticality:crit ?t_start
+          ~seed:(Retry.reseed ~seed:base_seed ~attempt)
+          pl
+      in
+      if stats.Anneal.final_cost > stats.Anneal.initial_cost then begin
+        Array.blit sx 0 pl.Placement.x 0 n;
+        Array.blit sy 0 pl.Placement.y 0 n;
+        let reason =
+          Printf.sprintf "annealing cost diverged (%.0f -> %.0f)"
+            stats.Anneal.initial_cost stats.Anneal.final_cost
+        in
+        if attempt + 1 < policy.Policy.max_attempts then begin
+          let t' =
+            match t_start with
+            | Some t -> t *. policy.Policy.anneal_cooling
+            | None -> 1.0 (* restart well below the adaptive default *)
+          in
+          Log.record log (Log.Retry { stage; attempt = attempt + 1; reason });
+          Log.record log
+            (Log.Escalation
+               {
+                 stage;
+                 what =
+                   Printf.sprintf
+                     "restart with derived reseed at t_start %.3g" t';
+               });
+          go (attempt + 1) (Some t')
+        end
+        else
+          Log.record log
+            (Log.Degraded
+               { stage; what = reason ^ "; keeping the pre-anneal placement" })
+      end
+    in
+    go 0 policy.Policy.anneal_t_start
+  in
   phys "verify:placement(a)" (Phys.check_placement pl);
   let activities = Power.activities ~seed:(seed + 7) buffered in
+  (* Global + detailed routing under the escalation ladder: leftover
+     channel overflow or a track-assignment conflict buys the next
+     attempt a wider channel and a bigger rip-up budget.  Exhaustion
+     with overflow degrades (detailed routing is skipped, vias = -1,
+     matching the policy-free flow's behavior on congested results);
+     exhaustion on a track conflict is fatal. *)
+  let route_stage tag pl =
+    let stage = "route:" ^ tag in
+    let iterations_of attempt =
+      30 + (policy.Policy.route_extra_iterations * attempt)
+    in
+    let rec go attempt capacity =
+      let routed =
+        Pathfinder.route_placement ?capacity
+          ~max_iterations:(iterations_of attempt) pl
+      in
+      let escalate reason =
+        let base = routed.Pathfinder.grid.Grid.capacity in
+        let cap =
+          max (base + 1)
+            (int_of_float
+               (ceil (float_of_int base *. policy.Policy.route_capacity_growth)))
+        in
+        Log.record log (Log.Retry { stage; attempt = attempt + 1; reason });
+        Log.record log
+          (Log.Escalation
+             {
+               stage;
+               what =
+                 Printf.sprintf
+                   "channel capacity %d -> %d, rip-up iterations %d -> %d" base
+                   cap (iterations_of attempt)
+                   (iterations_of (attempt + 1));
+             });
+        go (attempt + 1) (Some cap)
+      in
+      let exhausted = attempt + 1 >= policy.Policy.max_attempts in
+      if routed.Pathfinder.final_overflow > 0 then begin
+        let reason =
+          Printf.sprintf "%d unit(s) of channel overflow left after %d rip-up \
+                          iteration(s)"
+            routed.Pathfinder.final_overflow routed.Pathfinder.iterations
+        in
+        if not exhausted then escalate reason
+        else begin
+          Log.record log
+            (Log.Degraded { stage; what = reason ^ "; detailed routing skipped" });
+          (routed, -1)
+        end
+      end
+      else
+        match
+          Detail.run_result routed.Pathfinder.grid routed.Pathfinder.routes
+        with
+        | Ok d ->
+            phys
+              (Printf.sprintf "verify:tracks(%s)" tag)
+              (Phys.check_tracks d routed.Pathfinder.routes);
+            (routed, d.Detail.total_vias)
+        | Error reason ->
+            if not exhausted then escalate reason
+            else
+              Fail.raise_
+                (Fail.make ~stage ~design ~attempts:(attempt + 1)
+                   ~diags:[ Diag.error "track-overflow" "%s" reason ]
+                   ~events:(Log.strings log) ())
+    in
+    go 0 policy.Policy.route_capacity
+  in
   (* ---- Flow a: ASIC-style ---- *)
-  let routed_a = Pathfinder.route_placement pl in
+  let routed_a, vias_a = route_stage "a" pl in
   phys "verify:routing(a)" (Phys.check_routing routed_a pl);
   let wire_a = Pathfinder.wire_loads routed_a in
-  let detail_vias stage routed =
-    (* track assignment needs an overflow-free global result *)
-    if routed.Pathfinder.final_overflow = 0 then begin
-      let d = Detail.run routed.Pathfinder.grid routed.Pathfinder.routes in
-      phys stage (Phys.check_tracks d routed.Pathfinder.routes);
-      d.Detail.total_vias
-    end
-    else -1
-  in
-  let vias_a = detail_vias "verify:tracks(a)" routed_a in
   let sta_a = Sta.run ~period ~wire:wire_a buffered in
   let power_a = Power.estimate ~period ~wire:wire_a ~activities buffered in
   let outcome_a =
@@ -149,7 +343,38 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     }
   in
   (* ---- Flow b: pack into the PLB array ---- *)
-  let q = Quadrisect.legalize ~criticality:crit arch pl in
+  (* Legalization under the relaxation ladder: an unfittable design buys
+     the next attempt a roomier array (lower target utilization).
+     Exhaustion is fatal — there is no flow b without a legal packing. *)
+  let q =
+    let stage = "pack:quadrisect" in
+    let rec go attempt utilization =
+      match Quadrisect.legalize_result ~utilization ~criticality:crit arch pl with
+      | Ok q -> q
+      | Error fe ->
+          let reason = Quadrisect.fit_error_to_string fe in
+          if attempt + 1 < policy.Policy.max_attempts then begin
+            let u = utilization *. policy.Policy.pack_relaxation in
+            Log.record log (Log.Retry { stage; attempt = attempt + 1; reason });
+            Log.record log
+              (Log.Escalation
+                 {
+                   stage;
+                   what =
+                     Printf.sprintf
+                       "grow the array: target utilization %.2f -> %.2f"
+                       utilization u;
+                 });
+            go (attempt + 1) u
+          end
+          else
+            Fail.raise_
+              (Fail.make ~stage ~design ~attempts:(attempt + 1)
+                 ~diags:[ Diag.error "pack-unfit" "%s" reason ]
+                 ~events:(Log.strings log) ())
+    in
+    go 0 policy.Policy.pack_utilization
+  in
   phys "verify:packing" (Phys.check_packing q buffered);
   let side = sqrt arch.Arch.tile_area in
   let pl_b =
@@ -168,10 +393,9 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
          ~iterations:(min 400_000 (60 * Netlist.size buffered))
          q pl_b);
   phys "verify:placement(b)" (Phys.check_placement pl_b);
-  let routed_b = Pathfinder.route_placement pl_b in
+  let routed_b, vias_b = route_stage "b" pl_b in
   phys "verify:routing(b)" (Phys.check_routing routed_b pl_b);
   let wire_b = Pathfinder.wire_loads routed_b in
-  let vias_b = detail_vias "verify:tracks(b)" routed_b in
   let sta_b = Sta.run ~period ~wire:wire_b buffered in
   let power_b = Power.estimate ~period ~wire:wire_b ~activities buffered in
   let outcome_b =

@@ -60,6 +60,8 @@ val run :
   ?refine:bool ->
   ?use_criticality:bool ->
   ?verify:verify ->
+  ?policy:Vpga_resil.Policy.t ->
+  ?log:Vpga_resil.Log.t ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -71,7 +73,22 @@ val run :
     timing-criticality weighting in placement and packing — both exist for
     the ablation benches.  [verify] (default {!Fast}) selects the
     verification level; see {!type-verify}.
-    @raise Failure when an enabled verification check finds a violation. *)
+
+    [policy] (default {!Vpga_resil.Policy.default}) controls what happens
+    when a heuristic stage fails: global/detailed routing retries with
+    escalated channel capacity and rip-up budget, legalization retries
+    with a grown PLB array, a diverging anneal restarts with a derived
+    reseed at a cooler temperature, and undecided Formal SAT proofs walk
+    the conflict-budget ladder before degrading Formal -> Fast with a
+    recorded warning.  Every retry's knobs and reseeds derive from the
+    policy and the attempt index alone, so a retried flow remains
+    deterministic.  Recovery events (retries, escalations, degradations)
+    are recorded into [log] when supplied.
+
+    @raise Vpga_resil.Fail.Stage_failure when an enabled verification
+    check finds a violation or a stage exhausts its retry policy; the
+    payload carries the stage name, attempt count, diagnostics and the
+    recovery-event trail. *)
 
 val check_equivalence : Vpga_netlist.Netlist.t -> Vpga_netlist.Netlist.t -> unit
 (** Randomized equivalence gate used between flow stages.

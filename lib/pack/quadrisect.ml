@@ -55,6 +55,21 @@ let min_demand arch item =
     | [] -> Arch.Vector.zero
     | d :: _ -> d
 
+type fit_error = {
+  design : string;
+  dims_tried : int list;
+  unplaced : int;
+}
+
+let fit_error_to_string fe =
+  let last = match List.rev fe.dims_tried with d :: _ -> d | [] -> 0 in
+  Printf.sprintf
+    "could not fit design %s: %d item(s) still unplaced after growing the \
+     array to %dx%d (tried %s)"
+    fe.design fe.unplaced last last
+    (String.concat ", "
+       (List.map (fun d -> Printf.sprintf "%dx%d" d d) fe.dims_tried))
+
 type work_item = {
   node : int;
   item : Packer.item;
@@ -63,7 +78,7 @@ type work_item = {
   crit : float;
 }
 
-let legalize ?(utilization = 0.9) ?criticality arch pl =
+let legalize_result ?(utilization = 0.9) ?criticality arch pl =
   let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
   let n = Netlist.size nl in
   let crit id = match criticality with None -> 0.0 | Some c -> c.(id) in
@@ -251,7 +266,7 @@ let legalize ?(utilization = 0.9) ?criticality arch pl =
     quadrise items 0 0 cols rows;
     (* Exact per-tile feasibility with nearest-tile spill. *)
     let tile_items = Array.make (cols * rows) [] in
-    let ok = ref true in
+    let unplaced = ref 0 in
     let fits_tile tile w =
       Packer.fits arch (w.item :: List.map (fun u -> u.item) tile_items.(tile))
     in
@@ -278,14 +293,14 @@ let legalize ?(utilization = 0.9) ?criticality arch pl =
       | Some t ->
           tile_items.(t) <- w :: tile_items.(t);
           assignment.(w.node) <- t
-      | None -> ok := false
+      | None -> incr unplaced
     in
     (* Critical items first so they keep their preferred tiles. *)
     let ordered =
       List.sort (fun a b -> Float.compare b.crit a.crit) items
     in
     List.iter place_or_spill ordered;
-    if not !ok then None
+    if !unplaced > 0 then Error !unplaced
     else begin
       let displacement =
         List.fold_left
@@ -305,7 +320,7 @@ let legalize ?(utilization = 0.9) ?criticality arch pl =
           (fun acc l -> if l = [] then acc else acc + 1)
           0 tile_items
       in
-      Some
+      Ok
         {
           arch;
           cols;
@@ -320,14 +335,27 @@ let legalize ?(utilization = 0.9) ?criticality arch pl =
   let start_dims =
     max 2 (int_of_float (ceil (sqrt (float_of_int min_tiles))))
   in
-  let rec try_dims dims guard =
-    if guard = 0 then failwith "Quadrisect.legalize: could not fit design"
+  let rec try_dims dims guard tried last_unplaced =
+    if guard = 0 then
+      Error
+        {
+          design = Netlist.design_name nl;
+          dims_tried = List.rev tried;
+          unplaced = last_unplaced;
+        }
     else
       match attempt dims with
-      | Some t -> t
-      | None -> try_dims (dims + max 1 (dims / 8)) (guard - 1)
+      | Ok t -> Ok t
+      | Error unplaced ->
+          try_dims (dims + max 1 (dims / 8)) (guard - 1) (dims :: tried)
+            unplaced
   in
-  try_dims start_dims 12
+  try_dims start_dims 12 [] 0
+
+let legalize ?utilization ?criticality arch pl =
+  match legalize_result ?utilization ?criticality arch pl with
+  | Ok t -> t
+  | Error fe -> failwith ("Quadrisect.legalize: " ^ fit_error_to_string fe)
 
 let array_area t =
   float_of_int (t.cols * t.rows) *. t.arch.Arch.tile_area

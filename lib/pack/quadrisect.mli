@@ -27,15 +27,35 @@ val item_of_node : Vpga_netlist.Netlist.node -> Vpga_plb.Packer.item option
 (** The packing item of a netlist node ([None] for I/O and constants).
     Accepts configuration supernodes, component cells and flops. *)
 
+type fit_error = {
+  design : string;
+  dims_tried : int list;  (** array dims attempted, in growth order *)
+  unplaced : int;  (** items without a feasible tile on the last attempt *)
+}
+
+val fit_error_to_string : fit_error -> string
+
+val legalize_result :
+  ?utilization:float ->
+  ?criticality:float array ->
+  Vpga_plb.Arch.t ->
+  Vpga_place.Placement.t ->
+  (t, fit_error) result
+(** Sizes a PLB array (target resource [utilization], default 0.9, growing
+    it if legalization needs room), then quadrisects.  [Error] reports the
+    design, the dims tried, and the residual unplaced-item count when the
+    design cannot fit even after growth retries — the retry policy's signal
+    to relax [utilization]. *)
+
 val legalize :
   ?utilization:float ->
   ?criticality:float array ->
   Vpga_plb.Arch.t ->
   Vpga_place.Placement.t ->
   t
-(** Sizes a PLB array (target resource [utilization], default 0.9, growing
-    it if legalization needs room), then quadrisects.  Raises [Failure] only
-    if a design cannot fit even after growth retries. *)
+(** {!legalize_result} as a hard gate.
+    @raise Failure with {!fit_error_to_string} detail on an unfittable
+    design. *)
 
 val array_area : t -> float
 (** [cols * rows * tile_area]: the flow-b die area. *)

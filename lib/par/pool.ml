@@ -39,7 +39,11 @@ let rec worker p =
   match task with
   | Stop -> ()
   | Run f ->
-      f ();
+      (* [submit] already captures task exceptions into the future, but a
+         worker domain must survive (and keep serving siblings) even if a
+         raw task leaks one — a dead worker would strand every queued
+         task behind it and leak the domain at shutdown. *)
+      (try f () with _ -> ());
       worker p
 
 let create ?capacity ~jobs () =
@@ -148,6 +152,26 @@ let run ?jobs thunks =
       (function
         | Done v -> v
         | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+      states
+  end
+
+let try_run ?jobs thunks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length thunks in
+  if jobs = 1 || n <= 1 then
+    List.map
+      (fun f -> match f () with v -> Ok v | exception e -> Error e)
+      thunks
+  else begin
+    let p = create ~jobs:(min jobs n) () in
+    let futs = List.map (submit p) thunks in
+    let states = List.map await_state futs in
+    shutdown p;
+    List.map
+      (function
+        | Done v -> Ok v
+        | Failed (e, _) -> Error e
         | Pending -> assert false)
       states
   end

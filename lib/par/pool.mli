@@ -54,5 +54,11 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
     raised, the pool is still shut down cleanly and then the first
     failure (in submission order) is re-raised. *)
 
+val try_run : ?jobs:int -> (unit -> 'a) list -> ('a, exn) result list
+(** Like {!run}, but a task's exception is captured into its own slot
+    instead of being re-raised, so one failing task never hides the
+    results of its siblings.  [jobs = 1] runs inline with the same
+    per-task capture. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs = run ~jobs (List.map (fun x () -> f x) xs)]. *)

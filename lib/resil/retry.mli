@@ -1,0 +1,25 @@
+(** Generic retry driver for stages whose exhaustion is fatal.
+
+    Stages that can survive policy exhaustion by degrading (routing
+    overflow, anneal divergence) drive their own loops in [lib/flow]
+    and share only {!reseed}. *)
+
+val run :
+  log:Log.t ->
+  policy:Policy.t ->
+  stage:string ->
+  design:string ->
+  (int -> ('a, string) result) ->
+  'a
+(** [run ~log ~policy ~stage ~design f] calls [f 0], [f 1], ... until
+    one attempt returns [Ok] or [policy.max_attempts] attempts have
+    failed.  A {!Log.Retry} event is recorded before each rerun.
+    @raise Fail.Stage_failure on exhaustion, carrying the last failure
+    reason and the full event trail. *)
+
+val reseed : seed:int -> attempt:int -> int
+(** The derived seed for attempt [attempt] of a randomized stage.
+    [reseed ~seed ~attempt:0] is [seed] itself (attempt 0 reproduces the
+    un-retried flow bit for bit); later attempts step deterministically,
+    so retried flows remain independent of worker count and completion
+    order. *)

@@ -23,7 +23,10 @@ let bins_of grid e =
     (b, b + grid.Grid.cols)
   end
 
-let run grid routes =
+exception Over_capacity of string
+
+(* Raises [Over_capacity] when an edge holds more nets than tracks. *)
+let assign grid routes =
   let occupancy : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let track = Hashtbl.create 1024 in
   let n_nets = List.length routes in
@@ -75,9 +78,10 @@ let run grid routes =
               Hashtbl.replace track (e, net) t;
               if t > !max_track then max_track := t
           | None ->
-              failwith
-                (Printf.sprintf "Detail.run: edge %d over capacity %d" e
-                   grid.Grid.capacity))
+              raise
+                (Over_capacity
+                   (Printf.sprintf "edge %d over capacity %d" e
+                      grid.Grid.capacity)))
         edges;
       (* Count vias: within each bin, adjacent edge pairs of this net that
          change direction or track. *)
@@ -107,6 +111,16 @@ let run grid routes =
     total_vias = Array.fold_left ( + ) 0 net_vias;
     max_track = !max_track;
   }
+
+let run_result grid routes =
+  match assign grid routes with
+  | t -> Ok t
+  | exception Over_capacity msg -> Error msg
+
+let run grid routes =
+  match run_result grid routes with
+  | Ok t -> t
+  | Error msg -> failwith ("Detail.run: " ^ msg)
 
 let track_of t ~net ~edge = Hashtbl.find_opt t.track (edge, net)
 

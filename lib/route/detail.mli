@@ -18,9 +18,14 @@ val bins_of : Grid.t -> int -> int * int
 (** The two bins an edge joins (independent of any track assignment);
     exposed for the routing-connectivity checker in [vpga_verify]. *)
 
+val run_result : Grid.t -> Router.route list -> (t, string) result
+(** [Error] describes the first edge holding more nets than its
+    capacity (cannot happen on an overflow-free PathFinder result) —
+    the retry policy's signal to escalate channel capacity. *)
+
 val run : Grid.t -> Router.route list -> t
-(** @raise Failure if an edge holds more nets than its capacity (cannot
-    happen on an overflow-free PathFinder result). *)
+(** {!run_result} as a hard gate.
+    @raise Failure if an edge holds more nets than its capacity. *)
 
 val track_of : t -> net:int -> edge:int -> int option
 (** Track assigned to a net on an edge it crosses. *)

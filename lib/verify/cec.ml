@@ -35,6 +35,11 @@ type counterexample = {
 
 type verdict = Equivalent | Inequivalent of counterexample
 
+type bounded_verdict =
+  | Proved
+  | Refuted of counterexample
+  | Undecided (* conflict budget exhausted at every pipeline step *)
+
 (* Replay [nl] into [aig], using [in_lits] for its primary inputs followed
    by its flop Q pins.  Returns the output literals: POs first, then flop D
    pins (matching [Aig.of_netlist]'s root convention). *)
@@ -69,7 +74,12 @@ let same_interface a b =
   && List.length (Netlist.outputs a) = List.length (Netlist.outputs b)
   && List.length (Netlist.flops a) = List.length (Netlist.flops b)
 
-let check a b =
+(* The decision pipeline, optionally bounded: [budget = Some mc] caps
+   total effort (direct solve, per-merge sweeping proofs, and the final
+   post-sweep solve all run under [mc] conflicts) and may come back
+   [Undecided]; [budget = None] is the unbounded pipeline of {!check},
+   whose final solve cannot time out. *)
+let decide budget a b =
   if not (same_interface a b) then
     invalid_arg "Cec.check: interface mismatch (PI/PO/flop counts differ)";
   let npi = List.length (Netlist.inputs a) in
@@ -94,7 +104,7 @@ let check a b =
       | _ -> invalid_arg "Cec.check: SAT model does not distinguish outputs"
     in
     let k = find 0 roots_a roots_b in
-    Inequivalent
+    Refuted
       { root = (if k < npo then k else k - npo); root_is_flop = k >= npo; inputs }
   in
   let model_inputs model subst =
@@ -104,36 +114,54 @@ let check a b =
         model.(Aig.node_of l') <> Aig.is_complement l')
       in_lits
   in
-  if miter = Aig.const0 then Equivalent
+  let direct_budget =
+    match budget with Some mc -> min mc 2_000 | None -> 2_000
+  in
+  if miter = Aig.const0 then Proved
   else if miter = Aig.const1 then
     counterexample (Array.make (npi + nff) false)
   else begin
     let cnf = Cnf.of_cone aig miter in
-    match Sat.solve ~max_conflicts:2_000 ~nvars:cnf.Cnf.nvars cnf.Cnf.clauses with
-    | Sat.Unsat -> Equivalent
+    match
+      Sat.solve ~max_conflicts:direct_budget ~nvars:cnf.Cnf.nvars
+        cnf.Cnf.clauses
+    with
+    | Sat.Unsat -> Proved
     | Sat.Sat model -> counterexample (model_inputs model (fun l -> l))
     | Sat.Unknown -> begin
         (* Budget exhausted: sweep internal equivalences, then re-decide.
            The substitution is exact (every merge is SAT-proven), so a
            verdict on the swept miter transfers to the original. *)
-        let swept, subst = Sweep.reduce aig in
+        let swept, subst =
+          Sweep.reduce
+            ?merge_budget:(Option.map (fun mc -> min mc 4_000) budget)
+            aig
+        in
         let miter' =
           List.fold_left2
             (fun acc la lb ->
               Aig.or_ swept acc (Aig.xor_ swept (subst la) (subst lb)))
             Aig.const0 roots_a roots_b
         in
-        if miter' = Aig.const0 then Equivalent
+        if miter' = Aig.const0 then Proved
         else if miter' = Aig.const1 then
           counterexample (Array.make (npi + nff) false)
         else
           let cnf = Cnf.of_cone swept miter' in
-          match Sat.solve ~nvars:cnf.Cnf.nvars cnf.Cnf.clauses with
-          | Sat.Unsat -> Equivalent
+          match Sat.solve ?max_conflicts:budget ~nvars:cnf.Cnf.nvars cnf.Cnf.clauses with
+          | Sat.Unsat -> Proved
           | Sat.Sat model -> counterexample (model_inputs model subst)
-          | Sat.Unknown -> assert false (* no budget given *)
+          | Sat.Unknown -> Undecided (* only reachable when bounded *)
       end
   end
+
+let check_bounded ~max_conflicts a b = decide (Some max_conflicts) a b
+
+let check a b =
+  match decide None a b with
+  | Proved -> Equivalent
+  | Refuted cex -> Inequivalent cex
+  | Undecided -> assert false (* unbounded final solve cannot time out *)
 
 (* Hard-failure wrapper used by the flow gates. *)
 let prove ~stage reference candidate =

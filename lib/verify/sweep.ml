@@ -71,7 +71,7 @@ let simulate_one aig pi_values =
   done;
   values
 
-let reduce ?(seed = 97) aig =
+let reduce ?(seed = 97) ?(merge_budget = merge_budget) aig =
   let n = Aig.size aig in
   let sig_of = simulate aig ~seed in
   (* Normalization phase per node: complement-equivalent nodes share a

@@ -67,6 +67,55 @@ let test_pool_reuse_and_shutdown () =
   | _ -> Alcotest.fail "submit after shutdown should fail"
   | exception Invalid_argument _ -> ()
 
+let test_sibling_isolation () =
+  (* Regression: a raising task must fail only its own future.  Siblings
+     submitted around it still complete, and the pool keeps serving new
+     work afterwards — shutdown would hang if the exception had killed a
+     worker domain. *)
+  let p = Pool.create ~jobs:2 () in
+  let futs =
+    List.init 10 (fun i ->
+        Pool.submit p (fun () ->
+            if i mod 3 = 1 then raise (Boom (string_of_int i)) else i))
+  in
+  List.iteri
+    (fun i fut ->
+      if i mod 3 = 1 then
+        match Pool.await fut with
+        | _ -> Alcotest.fail "task failure was swallowed"
+        | exception Boom msg ->
+            Alcotest.(check string) "own payload" (string_of_int i) msg
+      else Alcotest.(check int) "sibling unaffected" i (Pool.await fut))
+    futs;
+  let more = List.init 4 (fun i -> Pool.submit p (fun () -> i * 10)) in
+  Alcotest.(check (list int))
+    "pool still serves" [ 0; 10; 20; 30 ]
+    (List.map Pool.await more);
+  Pool.shutdown p
+
+let test_try_run_captures () =
+  (* try_run: each failure lands in its own slot; siblings' results are
+     never hidden.  Same contract inline (jobs=1) and pooled. *)
+  let thunks =
+    List.init 6 (fun i ->
+        fun () -> if i mod 2 = 0 then i * 10 else raise (Boom (string_of_int i)))
+  in
+  List.iter
+    (fun jobs ->
+      let results = Pool.try_run ~jobs thunks in
+      Alcotest.(check int) "all slots present" 6 (List.length results);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              Alcotest.(check bool) "even slots succeed" true (i mod 2 = 0);
+              Alcotest.(check int) "value" (i * 10) v
+          | Error (Boom msg) ->
+              Alcotest.(check string) "captured payload" (string_of_int i) msg
+          | Error _ -> Alcotest.fail "wrong exception captured")
+        results)
+    [ 1; 4 ]
+
 let test_bounded_queue_backpressure () =
   (* capacity 1, slow workers: submission must block rather than buffer,
      and everything still completes. *)
@@ -197,6 +246,9 @@ let () =
           Alcotest.test_case "jobs=1 inline" `Quick test_sequential_jobs1;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
           Alcotest.test_case "reuse and shutdown" `Quick test_pool_reuse_and_shutdown;
+          Alcotest.test_case "sibling isolation" `Quick test_sibling_isolation;
+          Alcotest.test_case "try_run captures per task" `Quick
+            test_try_run_captures;
           Alcotest.test_case "bounded-queue backpressure" `Quick
             test_bounded_queue_backpressure;
         ] );
