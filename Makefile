@@ -5,12 +5,17 @@
 #   make test       dune runtest
 #   make verify     lint + SAT-based formal equivalence suite only
 #   make faults     fault-injection + retry/escalation resilience suite only
+#   make obs        observability suite only (spans, counters, trace export)
 #   make bench      full paper reproduction + kernel benchmarks;
-#                   writes BENCH_sweep.json (JOBS=N to set worker domains)
+#                   writes BENCH_sweep.json with a per-stage stages_s
+#                   breakdown (JOBS=N to set worker domains)
+#   make trace      run one traced flow (alu / granular) and write
+#                   trace.json -- open it at https://ui.perfetto.dev or
+#                   summarize with `dune exec bin/vpga.exe -- report trace.json`
 
 JOBS ?=
 
-.PHONY: all build test verify faults bench clean
+.PHONY: all build test verify faults obs bench trace clean
 
 all: build test
 
@@ -25,6 +30,13 @@ verify:
 
 faults:
 	dune build @faults
+
+obs:
+	dune build @obs
+
+trace:
+	dune exec bin/vpga.exe -- flow -d alu -a granular --trace trace.json
+	dune exec bin/vpga.exe -- report trace.json
 
 bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-jobs $(JOBS),)

@@ -17,10 +17,15 @@ open Vpga_core.Vpga
 let jobs = ref (Vpga_par.Pool.default_jobs ())
 let json_path = ref "BENCH_sweep.json"
 
+let set_jobs n =
+  if n < 1 then
+    raise (Arg.Bad (Printf.sprintf "-jobs expects a positive count, got %d" n));
+  jobs := n
+
 let () =
   Arg.parse
     [
-      ("-jobs", Arg.Set_int jobs, "N  worker domains for the E6-E9 flow sweep");
+      ("-jobs", Arg.Int set_jobs, "N  worker domains for the E6-E9 flow sweep");
       ("-json", Arg.Set_string json_path, "FILE  where to write the JSON record");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -28,6 +33,7 @@ let () =
 
 let sweep_seconds = ref 0.0
 let sweep_recovery = ref Recovery.zero
+let sweep_stages : (string * float) list ref = ref []
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -43,9 +49,16 @@ let reproduce_tables () =
   Report.compaction Format.std_formatter Experiments.Paper;
   section "E6-E9: Full evaluation (paper-scale designs, both PLBs, both flows)";
   let t0 = Unix.gettimeofday () in
-  let reports = Experiments.run_tasks ~seed:1 ~jobs:!jobs Experiments.Paper in
+  let reports =
+    Experiments.run_tasks ~seed:1 ~jobs:!jobs ~traced:true Experiments.Paper
+  in
   sweep_seconds := Unix.gettimeofday () -. t0;
   sweep_recovery := Experiments.recovery reports;
+  (* Per-stage wall time summed across the sweep's traces: where the
+     sweep's seconds actually go, revision over revision. *)
+  sweep_stages :=
+    Obs.Export.stage_totals
+      (List.map (fun r -> r.Experiments.t_trace) reports);
   let rows = Experiments.rows reports in
   Format.printf
     "(flow sweep took %.1f s on %d worker domain%s; %d retried attempt(s), \
@@ -171,13 +184,22 @@ let write_json kernels =
   let oc = open_out !json_path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"vpga-bench-sweep/1\",\n";
+  out "  \"schema\": \"vpga-bench-sweep/2\",\n";
   out "  \"jobs\": %d,\n" !jobs;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"sweep_wall_s\": %.3f,\n" !sweep_seconds;
   out "  \"recovery\": { \"retries\": %d, \"escalations\": %d, \"degraded\": %d },\n"
     !sweep_recovery.Recovery.retries !sweep_recovery.Recovery.escalations
     !sweep_recovery.Recovery.degraded;
+  (* CPU seconds per flow stage, summed over the sweep's (design x arch)
+     tasks; name-sorted so revisions diff cleanly. *)
+  out "  \"stages_s\": {\n";
+  List.iteri
+    (fun i (name, secs) ->
+      out "    %S: %.3f%s\n" name secs
+        (if i = List.length !sweep_stages - 1 then "" else ","))
+    !sweep_stages;
+  out "  },\n";
   out "  \"kernels_ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->

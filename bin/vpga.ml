@@ -7,7 +7,8 @@
      vpga tables [-p]         Tables 1 and 2 plus the headline claims (E6-E8)
      vpga flow -d NAME -a ARCH  one design through one architecture
      vpga sweep [-p] [-j N]   fault-isolated sweep with a recovery summary
-     vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages *)
+     vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages
+     vpga report FILE         per-stage summary of a Chrome trace file *)
 
 open Cmdliner
 open Vpga_core.Vpga
@@ -21,14 +22,27 @@ let paper_flag =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for the flow.")
 
+(* Like [Arg.int] but rejects non-positive values at parse time, before
+   any flow work starts. *)
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Error _ as e -> e
+    | Ok n when n < 1 ->
+        Error (`Msg (Printf.sprintf "expected a positive job count, got %d" n))
+    | Ok n -> Ok n
+  in
+  Arg.conv ~docv:"JOBS" (parse, Arg.conv_printer Arg.int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt int (Vpga_par.Pool.default_jobs ())
+    & opt positive_int (Vpga_par.Pool.default_jobs ())
     & info [ "j"; "jobs" ]
         ~doc:
-          "Worker domains for the flow sweep (default: cores - 1).  Results \
-           are identical for any value; 1 runs fully sequentially.")
+          "Worker domains for the flow sweep (default: cores - 1, at least \
+           1).  Results are identical for any value; 1 runs fully \
+           sequentially.")
 
 let scale_of p = if p then Experiments.Paper else Experiments.Test
 
@@ -122,11 +136,27 @@ let policy_arg =
            restarts, and Formal->Fast degradation on undecided SAT \
            proofs), or strict (one attempt, any stage failure is final).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical span trace of the flow (stage timings, \
+           inner-loop counters, recovery events) and write it to $(docv) as \
+           Chrome trace-event JSON (open in Perfetto / chrome://tracing, or \
+           summarize with $(b,vpga report)).")
+
 let flow_cmd =
-  let run paper seed design arch_name verify policy =
+  let run paper seed design arch_name verify policy trace_file =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
-    let pair = run_flow ~seed ~verify ~policy arch nl in
+    let trace =
+      match trace_file with
+      | Some _ -> Trace.create ~label:(design ^ "/" ^ arch_name) ()
+      | None -> Trace.null
+    in
+    let pair = run_flow ~seed ~verify ~policy ~trace arch nl in
     let show (o : Flow.outcome) =
       Format.printf
         "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
@@ -141,17 +171,31 @@ let flow_cmd =
       (Netlist.design_name nl) arch.Arch.name
       (100.0 *. pair.Flow.a.Flow.compaction_gain);
     show pair.Flow.a;
-    show pair.Flow.b
+    show pair.Flow.b;
+    match trace_file with
+    | None -> ()
+    | Some file ->
+        Obs.Export.write_chrome ~process_name:"vpga flow" file [ trace ];
+        Format.printf "wrote %s@." file
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
     Term.(
       const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg
-      $ policy_arg)
+      $ policy_arg $ trace_arg)
 
 let sweep_cmd =
-  let run paper seed jobs verify policy =
-    let reports =
-      Experiments.run_tasks ~seed ~jobs ~verify ~policy (scale_of paper)
+  let verbose_flag =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Also print the worker pool's accounting: tasks run, total \
+             queue wait, and per-worker busy time.")
+  in
+  let run paper seed jobs verify policy verbose =
+    let reports, pstats =
+      Experiments.run_tasks_with_stats ~seed ~jobs ~verify ~policy
+        (scale_of paper)
     in
     let failed =
       List.length (List.filter (fun r -> Result.is_error r.Experiments.t_result) reports)
@@ -180,6 +224,15 @@ let sweep_cmd =
     Format.printf "%d/%d task(s) completed@."
       (List.length reports - failed)
       (List.length reports);
+    if verbose then begin
+      let ms ns = Int64.to_float ns /. 1e6 in
+      Format.printf "@.pool: %d task(s), total queue wait %.1f ms@."
+        pstats.Pool.tasks
+        (ms pstats.Pool.queue_wait_ns);
+      Array.iteri
+        (fun i busy -> Format.printf "  worker %d: busy %.1f ms@." i (ms busy))
+        pstats.Pool.busy_ns
+    end;
     if failed > 0 then exit 1
   in
   Cmd.v
@@ -189,7 +242,9 @@ let sweep_cmd =
           isolation: one task exhausting its retry policy is reported as a \
           failure record while the rest complete.  Exits nonzero only if a \
           task failed.")
-    Term.(const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg)
+    Term.(
+      const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg
+      $ verbose_flag)
 
 let lint_cmd =
   let formal_flag =
@@ -267,6 +322,26 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Pack a design and write Verilog/DEF/SVG artifacts")
     Term.(const run $ paper_flag $ seed_arg $ design $ prefix)
 
+let report_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON written by $(b,vpga flow --trace).")
+  in
+  let run file =
+    match Obs.Export.load file with
+    | Ok doc -> Obs.Export.report Format.std_formatter doc
+    | Error msg -> Fmt.failwith "%s: %s" file msg
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize a recorded flow trace: per-stage wall time and share, \
+          inner-loop counters, and recovery instants")
+    Term.(const run $ file)
+
 let () =
   let doc = "VPGA logic-block granularity exploration (DATE 2004 reproduction)" in
   let info = Cmd.info "vpga" ~doc in
@@ -283,4 +358,5 @@ let () =
             sweep_cmd;
             lint_cmd;
             export_cmd;
+            report_cmd;
           ]))

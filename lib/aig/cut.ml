@@ -111,4 +111,8 @@ let enumerate aig ~k ~max_cuts =
       cuts.(id) <- trivial id :: take max_cuts sorted
     end
   done;
+  (* Ambient-trace counters (no-op when tracing is off). *)
+  Vpga_obs.Trace.emit "cuts.nodes" (float_of_int n);
+  Vpga_obs.Trace.emit "cuts.enumerated"
+    (float_of_int (Array.fold_left (fun acc l -> acc + List.length l) 0 cuts));
   cuts

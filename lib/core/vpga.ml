@@ -39,6 +39,8 @@ module Fpu = Vpga_designs.Fpu
 module Netswitch = Vpga_designs.Netswitch
 module Firewire = Vpga_designs.Firewire
 module Pool = Vpga_par.Pool
+module Obs = Vpga_obs
+module Trace = Vpga_obs.Trace
 module Flow = Vpga_flow.Flow
 module Experiments = Vpga_flow.Experiments
 module Report = Vpga_flow.Report
@@ -58,8 +60,8 @@ module Inject = Vpga_resil.Inject
 
 let classify_functions () = S3.census ()
 
-let run_flow ?seed ?period ?verify ?policy arch nl =
-  Flow.run ?seed ?period ?verify ?policy arch nl
+let run_flow ?seed ?period ?verify ?policy ?trace arch nl =
+  Flow.run ?seed ?period ?verify ?policy ?trace arch nl
 
 let compare_architectures ?seed ?period ?verify nl =
   ( Flow.run ?seed ?period ?verify Arch.lut_plb nl,

@@ -52,6 +52,12 @@ module Fpu = Vpga_designs.Fpu
 module Netswitch = Vpga_designs.Netswitch
 module Firewire = Vpga_designs.Firewire
 module Pool = Vpga_par.Pool
+
+module Obs = Vpga_obs
+(** Observability: monotonic spans, counter registry, Chrome-trace
+    export ({!Vpga_obs.Trace}, {!Vpga_obs.Export}). *)
+
+module Trace = Vpga_obs.Trace
 module Flow = Vpga_flow.Flow
 module Experiments = Vpga_flow.Experiments
 module Report = Vpga_flow.Report
@@ -76,11 +82,12 @@ val classify_functions : unit -> S3.census
 
 val run_flow :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> ?policy:Policy.t ->
-  Arch.t -> Netlist.t -> Flow.pair
+  ?trace:Trace.t -> Arch.t -> Netlist.t -> Flow.pair
 (** Both flows (ASIC-style a, packed-array b) on one architecture.
     [verify] selects the verification level (default {!Flow.Fast});
     [policy] the retry-with-escalation policy (default
-    {!Policy.default}). *)
+    {!Policy.default}); [trace] (default disabled) records stage spans
+    and inner-loop counters — see {!Obs}. *)
 
 val compare_architectures :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> Netlist.t ->

@@ -33,6 +33,7 @@ type task_report = {
   t_arch : Arch.t;
   t_result : (Flow.pair, Vpga_resil.Fail.t) result;
   t_recovery : Vpga_resil.Log.summary;
+  t_trace : Vpga_obs.Trace.t;
 }
 
 (* Each (design, arch) flow run is an independent task with its own RNG
@@ -46,43 +47,63 @@ let task_seed ~seed name arch =
   String.iter (fun c -> h := mix !h (Char.code c)) arch.Arch.name;
   !h land 0x3FFFFFFF
 
-let run_tasks ?(seed = 1) ?jobs ?verify ?policy ?designs:ds scale =
+let run_tasks_with_stats ?(seed = 1) ?jobs ?verify ?policy ?(traced = false)
+    ?designs:ds scale =
   (* Populate every shared lazy table from this domain before workers
      race for them (Lazy.force is not domain-safe in OCaml 5). *)
   Config.prewarm ();
   let ds = match ds with Some ds -> ds | None -> designs scale in
-  let tasks =
+  let specs =
     List.concat_map
       (fun (name, nl) ->
         List.map
-          (fun arch () ->
-            (* Fault isolation: whatever one task dies with becomes its
-               own failure record; sibling tasks never see it. *)
-            let log = Vpga_resil.Log.create () in
-            let result =
-              try
-                Ok
-                  (Flow.run ~seed:(task_seed ~seed name arch) ?verify ?policy
-                     ~log arch nl)
-              with
-              | Vpga_resil.Fail.Stage_failure f -> Error f
-              | e ->
-                  Error
-                    (Vpga_resil.Fail.of_exn ~stage:"flow" ~design:name
-                       ~attempts:1
-                       ~events:(Vpga_resil.Log.strings log)
-                       e)
-            in
-            {
-              t_design = name;
-              t_arch = arch;
-              t_result = result;
-              t_recovery = Vpga_resil.Log.summary log;
-            })
+          (fun arch -> (name, nl, arch))
           [ Arch.lut_plb; Arch.granular_plb ])
       ds
   in
-  Vpga_par.Pool.run ?jobs tasks
+  let tasks =
+    List.mapi
+      (fun i (name, nl, arch) () ->
+        (* Fault isolation: whatever one task dies with becomes its
+           own failure record; sibling tasks never see it.  The trace is
+           created here, on the worker domain, so every event it records
+           (spans, counters, resil instants) belongs to exactly one task
+           and no synchronization is ever needed. *)
+        let log = Vpga_resil.Log.create () in
+        let trace =
+          if traced then
+            Vpga_obs.Trace.create ~tid:i
+              ~label:(name ^ "/" ^ arch.Arch.name)
+              ()
+          else Vpga_obs.Trace.null
+        in
+        let result =
+          try
+            Ok
+              (Flow.run ~seed:(task_seed ~seed name arch) ?verify ?policy
+                 ~log ~trace arch nl)
+          with
+          | Vpga_resil.Fail.Stage_failure f -> Error f
+          | e ->
+              Error
+                (Vpga_resil.Fail.of_exn ~stage:"flow" ~design:name
+                   ~attempts:1
+                   ~events:(Vpga_resil.Log.strings log)
+                   e)
+        in
+        {
+          t_design = name;
+          t_arch = arch;
+          t_result = result;
+          t_recovery = Vpga_resil.Log.summary log;
+          t_trace = trace;
+        })
+      specs
+  in
+  Vpga_par.Pool.run_stats ?jobs tasks
+
+let run_tasks ?seed ?jobs ?verify ?policy ?traced ?designs scale =
+  fst (run_tasks_with_stats ?seed ?jobs ?verify ?policy ?traced ?designs scale)
 
 let recovery reports =
   List.fold_left

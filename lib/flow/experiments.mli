@@ -20,6 +20,9 @@ type task_report = {
       (** the flow pair, or the typed failure that exhausted the policy *)
   t_recovery : Vpga_resil.Log.summary;
       (** retry/escalation/degradation counts for this task alone *)
+  t_trace : Vpga_obs.Trace.t;
+      (** this task's span/counter trace; {!Vpga_obs.Trace.null} unless
+          the sweep ran with [~traced:true] *)
 }
 
 val run_tasks :
@@ -27,6 +30,7 @@ val run_tasks :
   ?jobs:int ->
   ?verify:Flow.verify ->
   ?policy:Vpga_resil.Policy.t ->
+  ?traced:bool ->
   ?designs:(string * Vpga_netlist.Netlist.t) list ->
   scale ->
   task_report list
@@ -35,7 +39,27 @@ val run_tasks :
     per-task failure record while the remaining tasks complete.  Reports
     come back in task order (designs x [lut; granular]).  [designs]
     overrides the benchmark list (fault-injection tests sweep corrupted
-    designs alongside healthy ones).  Never raises for a task failure. *)
+    designs alongside healthy ones).  Never raises for a task failure.
+
+    With [~traced:true] (default false) each task gets its own
+    {!Vpga_obs.Trace.t} — created on the worker domain, thread id = task
+    index — returned in [t_trace]; merge them with
+    {!Vpga_obs.Export.chrome} for one timeline of the whole sweep.
+    Tracing does not change results: every recorded quantity derives
+    from the task's own deterministic run. *)
+
+val run_tasks_with_stats :
+  ?seed:int ->
+  ?jobs:int ->
+  ?verify:Flow.verify ->
+  ?policy:Vpga_resil.Policy.t ->
+  ?traced:bool ->
+  ?designs:(string * Vpga_netlist.Netlist.t) list ->
+  scale ->
+  task_report list * Vpga_par.Pool.stats
+(** {!run_tasks}, also returning the worker pool's accounting
+    ({!Vpga_par.Pool.type-stats}: tasks run, total queue wait, per-worker
+    busy time) for the sweep. *)
 
 val recovery : task_report list -> Vpga_resil.Log.summary
 (** Aggregate recovery counters across a sweep's reports. *)

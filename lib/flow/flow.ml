@@ -23,6 +23,8 @@ module Fail = Vpga_resil.Fail
 module Policy = Vpga_resil.Policy
 module Log = Vpga_resil.Log
 module Retry = Vpga_resil.Retry
+module Trace = Vpga_obs.Trace
+module Attr = Vpga_obs.Span
 
 type kind = Flow_a | Flow_b
 
@@ -65,9 +67,36 @@ let check_structure ~stage nl =
 
 let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     ?anneal_iterations ?(refine = true) ?(use_criticality = true)
-    ?(verify = Fast) ?(policy = Policy.default) ?log arch nl =
+    ?(verify = Fast) ?(policy = Policy.default) ?log
+    ?(trace = Trace.null) arch nl =
   let design = Netlist.design_name nl in
   let log = match log with Some l -> l | None -> Log.create () in
+  (* Every stage boundary opens a span on [trace]; [Trace.with_span] also
+     installs the trace as the domain's ambient sink, so counters emitted
+     deep inside the annealer / PathFinder / SAT / cut enumeration land in
+     this task's registry.  With [trace = Trace.null] every span is one
+     branch and nothing else. *)
+  let span ?attrs name f = Trace.with_span ?attrs trace name f in
+  (* Replay the recovery log onto the trace timeline as instant events;
+     [Log.record] stamps the same monotonic clock the spans use, so they
+     correlate exactly. *)
+  let flush_recovery () =
+    List.iter
+      (fun { Log.at_ns; event } ->
+        let name, stage, detail =
+          match event with
+          | Log.Retry { stage; attempt; reason } ->
+              ( "resil:retry",
+                stage,
+                Printf.sprintf "attempt %d: %s" attempt reason )
+          | Log.Escalation { stage; what } -> ("resil:escalate", stage, what)
+          | Log.Degraded { stage; what } -> ("resil:degrade", stage, what)
+        in
+        Trace.instant ~ts_ns:at_ns
+          ~attrs:[ ("stage", Attr.Str stage); ("detail", Attr.Str detail) ]
+          trace name)
+      (Log.timed log)
+  in
   let vfast = verify <> Off in
   let vformal = verify = Formal in
   (* Verification gates abort with a *typed* failure: the stage name,
@@ -159,37 +188,59 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     if vfast then guard stage (fun () -> check_equivalence nl candidate);
     if vformal then formal_prove stage candidate
   in
-  let phys stage diags =
-    if vfast then guard stage (fun () -> Diag.fail_on_errors ~stage diags)
+  let phys stage check =
+    if vfast then
+      span stage (fun () ->
+          guard stage (fun () -> Diag.fail_on_errors ~stage (check ())))
   in
-  structure "verify:input" nl;
-  if vfast then guard "verify:lint" (fun () -> Lint.check ~stage:"verify:lint" nl);
+  let body () =
+  span "verify:input" (fun () ->
+      structure "verify:input" nl;
+      if vfast then
+        guard "verify:lint" (fun () -> Lint.check ~stage:"verify:lint" nl));
   let gate_count = Stats.gate_count nl in
   (* Front-end: map, compact, buffer. *)
-  let mapped = Techmap.map arch nl in
-  structure "verify:techmap" mapped;
-  equiv "verify:techmap" mapped;
-  let compacted = Compact.run arch nl in
-  structure "verify:compact" compacted;
-  equiv "verify:compact" compacted;
-  let compaction_gain =
-    let before = Techmap.cell_area mapped in
-    if before <= 0.0 then 0.0
-    else 1.0 -. (Techmap.cell_area compacted /. before)
+  let mapped = span "map" (fun () -> Techmap.map arch nl) in
+  span "verify:techmap" (fun () ->
+      structure "verify:techmap" mapped;
+      equiv "verify:techmap" mapped);
+  let compacted, compaction_gain =
+    span "compact" (fun () ->
+        let compacted = Compact.run arch nl in
+        let before = Techmap.cell_area mapped in
+        let gain =
+          if before <= 0.0 then 0.0
+          else 1.0 -. (Techmap.cell_area compacted /. before)
+        in
+        (compacted, gain))
   in
-  let buffered = Buffering.insert ~max_fanout:8 compacted in
-  structure "verify:buffer" buffered;
-  equiv "verify:buffer" buffered;
-  let cell_area = Techmap.cell_area buffered in
-  let config_histogram = Compact.config_histogram buffered in
+  span "verify:compact" (fun () ->
+      structure "verify:compact" compacted;
+      equiv "verify:compact" compacted);
+  let buffered, cell_area, config_histogram =
+    span "buffer" (fun () ->
+        let buffered = Buffering.insert ~max_fanout:8 compacted in
+        ( buffered,
+          Techmap.cell_area buffered,
+          Compact.config_histogram buffered ))
+  in
+  span "verify:buffer" (fun () ->
+      structure "verify:buffer" buffered;
+      equiv "verify:buffer" buffered);
+  Trace.set trace "flow.gate_count" gate_count;
+  Trace.set trace "flow.cells" (float_of_int (Netlist.size buffered));
   (* Placement (shared). *)
-  let pl = Placement.create ~utilization buffered in
-  Global.place ~seed pl;
+  let pl =
+    span "place:global" (fun () ->
+        let pl = Placement.create ~utilization buffered in
+        Global.place ~seed pl;
+        pl)
+  in
   (* Criticality from a pre-route timing estimate. *)
-  let pre_sta = Sta.run ~period buffered in
   let crit =
-    if use_criticality then Sta.criticality pre_sta
-    else Array.make (Netlist.size buffered) 0.0
+    span "sta:pre" (fun () ->
+        if use_criticality then Sta.criticality (Sta.run ~period buffered)
+        else Array.make (Netlist.size buffered) 0.0)
   in
   let iterations =
     match anneal_iterations with
@@ -202,6 +253,7 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
      policy-free flow exactly.  Exhaustion is survivable — the pre-anneal
      (global) placement is already legal, so the flow continues on it. *)
   let () =
+    span "place:anneal" @@ fun () ->
     let stage = "place:anneal" in
     let base_seed = seed + 1 in
     let n = Array.length pl.Placement.x in
@@ -244,8 +296,10 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     in
     go 0 policy.Policy.anneal_t_start
   in
-  phys "verify:placement(a)" (Phys.check_placement pl);
-  let activities = Power.activities ~seed:(seed + 7) buffered in
+  phys "verify:placement(a)" (fun () -> Phys.check_placement pl);
+  let activities =
+    span "power:activities" (fun () -> Power.activities ~seed:(seed + 7) buffered)
+  in
   (* Global + detailed routing under the escalation ladder: leftover
      channel overflow or a track-assignment conflict buys the next
      attempt a wider channel and a bigger rip-up budget.  Exhaustion
@@ -298,12 +352,13 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
       end
       else
         match
-          Detail.run_result routed.Pathfinder.grid routed.Pathfinder.routes
+          span "route:detail" (fun () ->
+              Detail.run_result routed.Pathfinder.grid routed.Pathfinder.routes)
         with
         | Ok d ->
             phys
               (Printf.sprintf "verify:tracks(%s)" tag)
-              (Phys.check_tracks d routed.Pathfinder.routes);
+              (fun () -> Phys.check_tracks d routed.Pathfinder.routes);
             (routed, d.Detail.total_vias)
         | Error reason ->
             if not exhausted then escalate reason
@@ -316,11 +371,17 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     go 0 policy.Policy.route_capacity
   in
   (* ---- Flow a: ASIC-style ---- *)
-  let routed_a, vias_a = route_stage "a" pl in
-  phys "verify:routing(a)" (Phys.check_routing routed_a pl);
-  let wire_a = Pathfinder.wire_loads routed_a in
-  let sta_a = Sta.run ~period ~wire:wire_a buffered in
-  let power_a = Power.estimate ~period ~wire:wire_a ~activities buffered in
+  let routed_a, vias_a = span "route:a" (fun () -> route_stage "a" pl) in
+  phys "verify:routing(a)" (fun () -> Phys.check_routing routed_a pl);
+  let wire_a, sta_a =
+    span "sta:a" (fun () ->
+        let wire = Pathfinder.wire_loads routed_a in
+        (wire, Sta.run ~period ~wire buffered))
+  in
+  let power_a =
+    span "power:a" (fun () ->
+        Power.estimate ~period ~wire:wire_a ~activities buffered)
+  in
   let outcome_a =
     {
       design;
@@ -347,6 +408,7 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
      the next attempt a roomier array (lower target utilization).
      Exhaustion is fatal — there is no flow b without a legal packing. *)
   let q =
+    span "pack:quadrisect" @@ fun () ->
     let stage = "pack:quadrisect" in
     let rec go attempt utilization =
       match Quadrisect.legalize_result ~utilization ~criticality:crit arch pl with
@@ -375,29 +437,40 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     in
     go 0 policy.Policy.pack_utilization
   in
-  phys "verify:packing" (Phys.check_packing q buffered);
-  let side = sqrt arch.Arch.tile_area in
+  phys "verify:packing" (fun () -> Phys.check_packing q buffered);
   let pl_b =
-    {
-      pl with
-      Placement.die_w = float_of_int q.Quadrisect.cols *. side;
-      die_h = float_of_int q.Quadrisect.rows *. side;
-    }
+    span "pack:snap" (fun () ->
+        let side = sqrt arch.Arch.tile_area in
+        let pl_b =
+          {
+            pl with
+            Placement.die_w = float_of_int q.Quadrisect.cols *. side;
+            die_h = float_of_int q.Quadrisect.rows *. side;
+          }
+        in
+        Quadrisect.snap q pl_b;
+        pl_b)
   in
-  Quadrisect.snap q pl_b;
   (* The paper's packing <-> physical-synthesis iteration: refine tile
      assignments under the criticality-weighted wirelength cost. *)
   if refine then
-    ignore
-      (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
-         ~iterations:(min 400_000 (60 * Netlist.size buffered))
-         q pl_b);
-  phys "verify:placement(b)" (Phys.check_placement pl_b);
-  let routed_b, vias_b = route_stage "b" pl_b in
-  phys "verify:routing(b)" (Phys.check_routing routed_b pl_b);
-  let wire_b = Pathfinder.wire_loads routed_b in
-  let sta_b = Sta.run ~period ~wire:wire_b buffered in
-  let power_b = Power.estimate ~period ~wire:wire_b ~activities buffered in
+    span "pack:refine" (fun () ->
+        ignore
+          (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
+             ~iterations:(min 400_000 (60 * Netlist.size buffered))
+             q pl_b));
+  phys "verify:placement(b)" (fun () -> Phys.check_placement pl_b);
+  let routed_b, vias_b = span "route:b" (fun () -> route_stage "b" pl_b) in
+  phys "verify:routing(b)" (fun () -> Phys.check_routing routed_b pl_b);
+  let wire_b, sta_b =
+    span "sta:b" (fun () ->
+        let wire = Pathfinder.wire_loads routed_b in
+        (wire, Sta.run ~period ~wire buffered))
+  in
+  let power_b =
+    span "power:b" (fun () ->
+        Power.estimate ~period ~wire:wire_b ~activities buffered)
+  in
   let outcome_b =
     {
       design;
@@ -420,3 +493,20 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     }
   in
   { a = outcome_a; b = outcome_b }
+  in
+  match
+    span "flow"
+      ~attrs:
+        [
+          ("design", Attr.Str design);
+          ("arch", Attr.Str arch.Arch.name);
+          ("seed", Attr.Int seed);
+        ]
+      body
+  with
+  | pair ->
+      flush_recovery ();
+      pair
+  | exception e ->
+      flush_recovery ();
+      raise e

@@ -62,6 +62,7 @@ val run :
   ?verify:verify ->
   ?policy:Vpga_resil.Policy.t ->
   ?log:Vpga_resil.Log.t ->
+  ?trace:Vpga_obs.Trace.t ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -84,6 +85,17 @@ val run :
     policy and the attempt index alone, so a retried flow remains
     deterministic.  Recovery events (retries, escalations, degradations)
     are recorded into [log] when supplied.
+
+    [trace] (default {!Vpga_obs.Trace.null}, i.e. disabled) receives a
+    hierarchical span per stage boundary (mapping, packing, placement,
+    routing, timing, power and every verification gate), counter updates
+    from the inner loops (annealer moves, PathFinder rip-up iterations,
+    SAT conflicts/decisions/propagations, cut enumeration) via the
+    ambient-trace mechanism, and the recovery log replayed as instant
+    events on the same monotonic timeline.  Export with
+    {!Vpga_obs.Export}.  A [null] trace reduces every probe to a single
+    branch, so the instrumented flow's cost is unchanged when tracing is
+    off.
 
     @raise Vpga_resil.Fail.Stage_failure when an enabled verification
     check finds a violation or a stage exhausts its retry policy; the

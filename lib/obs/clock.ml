@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "vpga_obs_clock_now_ns"
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let ns_to_us ns = Int64.to_float ns /. 1e3

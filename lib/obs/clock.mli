@@ -1,0 +1,14 @@
+(** Monotonic clock (CLOCK_MONOTONIC, nanoseconds).
+
+    Every timestamp in the observability layer — span begin/end, instant
+    events, {!Vpga_resil.Log} recovery events — comes from this one clock,
+    so events recorded by different subsystems land on a single timeline. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed origin.  Never decreases. *)
+
+val ns_to_s : int64 -> float
+(** Nanoseconds to seconds. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to microseconds (the Chrome trace-event unit). *)

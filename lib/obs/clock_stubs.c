@@ -1,0 +1,15 @@
+/* Monotonic clock for the tracing layer: CLOCK_MONOTONIC nanoseconds as
+   an int64.  Wall-clock time (gettimeofday) can step backwards under NTP
+   adjustment, which would produce negative span durations; the monotonic
+   clock cannot. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value vpga_obs_clock_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,212 @@
+let attr_json : Span.attr -> Json.t = function
+  | Span.Str s -> Json.Str s
+  | Span.Int i -> Json.Num (float_of_int i)
+  | Span.Float f -> Json.Num f
+  | Span.Bool b -> Json.Bool b
+
+let args_json attrs = Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) attrs)
+
+(* All events of all traces share one time base: the earliest event
+   timestamp (0 when there are no events at all). *)
+let time_base traces =
+  List.fold_left
+    (fun base t ->
+      List.fold_left
+        (fun base e -> Int64.min base (Span.ts_ns e))
+        base (Trace.events t))
+    Int64.max_int traces
+  |> fun b -> if b = Int64.max_int then 0L else b
+
+let us_since base ns = Clock.ns_to_us (Int64.sub ns base)
+
+let chrome ?(process_name = "vpga") traces =
+  let traces = List.filter Trace.enabled traces in
+  let base = time_base traces in
+  let common tid name ph =
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str ph);
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int tid));
+    ]
+  in
+  let meta =
+    Json.Obj
+      (common 0 "process_name" "M" @ [ ("args", Json.Obj [ ("name", Json.Str process_name) ]) ])
+    :: List.map
+         (fun t ->
+           Json.Obj
+             (common (Trace.tid t) "thread_name" "M"
+             @ [ ("args", Json.Obj [ ("name", Json.Str (Trace.label t)) ]) ]))
+         traces
+  in
+  let of_event tid = function
+    | Span.Complete { name; ts_ns; dur_ns; depth; attrs } ->
+        Json.Obj
+          (common tid name "X"
+          @ [
+              ("cat", Json.Str "flow");
+              ("ts", Json.Num (us_since base ts_ns));
+              ("dur", Json.Num (Clock.ns_to_us dur_ns));
+              ("args", args_json (("depth", Span.Int depth) :: attrs));
+            ])
+    | Span.Instant { name; ts_ns; attrs } ->
+        Json.Obj
+          (common tid name "i"
+          @ [
+              ("cat", Json.Str "resil");
+              ("s", Json.Str "t");
+              ("ts", Json.Num (us_since base ts_ns));
+              ("args", args_json attrs);
+            ])
+  in
+  let trace_end t =
+    List.fold_left
+      (fun acc e -> Int64.max acc (Span.end_ns e))
+      base (Trace.events t)
+  in
+  let counter_events t =
+    let ts = Json.Num (us_since base (trace_end t)) in
+    List.map
+      (fun (name, v) ->
+        Json.Obj
+          (common (Trace.tid t) name "C"
+          @ [ ("ts", ts); ("args", Json.Obj [ ("value", Json.Num v) ]) ]))
+      (Trace.counters t @ Trace.gauges t)
+  in
+  let events =
+    List.concat_map
+      (fun t ->
+        List.map (of_event (Trace.tid t)) (Trace.events t) @ counter_events t)
+      traces
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.Arr (meta @ events));
+    ]
+
+let write_chrome ?process_name path traces =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Json.to_channel oc (chrome ?process_name traces);
+      output_char oc '\n')
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> Json.parse src
+  | exception Sys_error msg -> Error msg
+
+let stage_totals traces =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      List.iter
+        (function
+          | Span.Complete { name; dur_ns; depth = 1; _ } ->
+              let r =
+                match Hashtbl.find_opt tbl name with
+                | Some r -> r
+                | None ->
+                    let r = ref 0.0 in
+                    Hashtbl.add tbl name r;
+                    r
+              in
+              r := !r +. Clock.ns_to_s dur_ns
+          | _ -> ())
+        (Trace.events t))
+    traces;
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- the per-stage text report over a (possibly reloaded) document ---- *)
+
+type row = { mutable calls : int; mutable total_us : float }
+
+let report fmt doc =
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> evs
+    | _ -> []
+  in
+  let str k ev = Option.bind (Json.member k ev) Json.to_str in
+  let num k ev = Option.bind (Json.member k ev) Json.to_float in
+  let spans : (int * string, row) Hashtbl.t = Hashtbl.create 32 in
+  let counters : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let instants : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let root_us = ref 0.0 in
+  List.iter
+    (fun ev ->
+      match (str "ph" ev, str "name" ev) with
+      | Some "X", Some name ->
+          let dur = Option.value ~default:0.0 (num "dur" ev) in
+          let depth =
+            match Option.bind (Json.member "args" ev) (num "depth") with
+            | Some d -> int_of_float d
+            | None -> 0
+          in
+          if depth = 0 then root_us := !root_us +. dur;
+          let key = (depth, name) in
+          let row =
+            match Hashtbl.find_opt spans key with
+            | Some r -> r
+            | None ->
+                let r = { calls = 0; total_us = 0.0 } in
+                Hashtbl.add spans key r;
+                r
+          in
+          row.calls <- row.calls + 1;
+          row.total_us <- row.total_us +. dur
+      | Some "C", Some name ->
+          let v =
+            match Option.bind (Json.member "args" ev) (num "value") with
+            | Some v -> v
+            | None -> 0.0
+          in
+          Hashtbl.replace counters name
+            (v +. Option.value ~default:0.0 (Hashtbl.find_opt counters name))
+      | Some "i", Some name ->
+          Hashtbl.replace instants name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt instants name))
+      | _ -> ())
+    events;
+  let span_rows =
+    Hashtbl.fold (fun k r acc -> (k, r) :: acc) spans []
+    |> List.sort (fun ((d1, n1), r1) ((d2, n2), r2) ->
+           if d1 <> d2 then compare d1 d2
+           else if r1.total_us <> r2.total_us then
+             compare r2.total_us r1.total_us
+           else String.compare n1 n2)
+  in
+  Format.fprintf fmt "%-28s %5s %6s %12s %8s@." "span" "depth" "calls"
+    "total ms" "share";
+  List.iter
+    (fun ((depth, name), r) ->
+      let share =
+        if !root_us > 0.0 then 100.0 *. r.total_us /. !root_us else 0.0
+      in
+      Format.fprintf fmt "%-28s %5d %6d %12.3f %7.1f%%@." name depth r.calls
+        (r.total_us /. 1e3) share)
+    span_rows;
+  let sorted tbl fold_val =
+    Hashtbl.fold (fun k v acc -> (k, fold_val v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let counter_rows = sorted counters (fun v -> v) in
+  if counter_rows <> [] then begin
+    Format.fprintf fmt "@.%-28s %12s@." "counter" "value";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "%-28s %12.0f@." name v)
+      counter_rows
+  end;
+  let instant_rows = sorted instants float_of_int in
+  if instant_rows <> [] then begin
+    Format.fprintf fmt "@.%-28s %12s@." "instant event" "count";
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "%-28s %12.0f@." name v)
+      instant_rows
+  end
+
+let report_traces fmt traces = report fmt (chrome traces)

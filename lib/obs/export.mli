@@ -1,0 +1,33 @@
+(** Trace export: Chrome trace-event JSON (loadable in Perfetto /
+    [chrome://tracing]) and a compact per-stage text report.
+
+    The Chrome document is one JSON object with a [traceEvents] array;
+    traces merge into it by task id (each {!Trace.t} becomes one thread,
+    named by its label).  Spans become ["ph":"X"] complete events (with
+    their nesting depth in [args.depth]), instants ["ph":"i"], and each
+    counter/gauge one ["ph":"C"] counter sample at the trace's end.
+    Timestamps are microseconds relative to the earliest event, so the
+    file is stable under everything but the run's own durations. *)
+
+val chrome : ?process_name:string -> Trace.t list -> Json.t
+(** Merge traces into one Chrome trace-event document.  Null traces are
+    skipped; [process_name] (default ["vpga"]) names the single process. *)
+
+val write_chrome : ?process_name:string -> string -> Trace.t list -> unit
+(** [chrome] serialized to a file. *)
+
+val load : string -> (Json.t, string) result
+(** Read a Chrome trace-event file back (for [vpga report]). *)
+
+val stage_totals : Trace.t list -> (string * float) list
+(** Total seconds per {e stage} span — the depth-1 spans, i.e. the direct
+    children of each trace's root — summed across all given traces,
+    name-sorted.  This is the [stages_s] block of [BENCH_sweep.json]. *)
+
+val report : Format.formatter -> Json.t -> unit
+(** The per-stage summary of a Chrome trace-event document: a span table
+    (calls, total time, share of root wall time), the counter totals, and
+    the instant-event counts. *)
+
+val report_traces : Format.formatter -> Trace.t list -> unit
+(** [report] on [chrome traces] — the in-process shortcut. *)

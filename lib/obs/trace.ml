@@ -1,0 +1,163 @@
+(* Per-task trace sink.  [t] is [sink option]: [None] is the disabled
+   trace, so every operation starts with one cheap match and the disabled
+   path allocates nothing.  A sink is only ever mutated from the domain
+   running its task (the sweep hands finished traces back through a pool
+   join, which publishes them), so there is no lock. *)
+
+type sink = {
+  s_tid : int;
+  s_label : string;
+  mutable revents : Span.event list; (* newest first *)
+  mutable depth : int; (* currently open spans *)
+  counters : (string, float ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+}
+
+type t = sink option
+
+let null = None
+
+let create ?(tid = 0) ?(label = "") () =
+  Some
+    {
+      s_tid = tid;
+      s_label = label;
+      revents = [];
+      depth = 0;
+      counters = Hashtbl.create 16;
+      gauges = Hashtbl.create 8;
+    }
+
+let enabled = function Some _ -> true | None -> false
+let tid = function Some s -> s.s_tid | None -> 0
+let label = function Some s -> s.s_label | None -> ""
+
+(* ---- spans ---- *)
+
+type span =
+  | Inert
+  | Open of {
+      o_sink : sink;
+      o_name : string;
+      o_t0 : int64;
+      o_depth : int;
+      o_attrs : (string * Span.attr) list;
+      mutable o_closed : bool;
+    }
+
+let begin_span ?(attrs = []) t name =
+  match t with
+  | None -> Inert
+  | Some s ->
+      let d = s.depth in
+      s.depth <- d + 1;
+      Open
+        {
+          o_sink = s;
+          o_name = name;
+          o_t0 = Clock.now_ns ();
+          o_depth = d;
+          o_attrs = attrs;
+          o_closed = false;
+        }
+
+let end_span ?(attrs = []) sp =
+  match sp with
+  | Inert -> ()
+  | Open o ->
+      if not o.o_closed then begin
+        o.o_closed <- true;
+        let s = o.o_sink in
+        s.depth <- s.depth - 1;
+        s.revents <-
+          Span.Complete
+            {
+              name = o.o_name;
+              ts_ns = o.o_t0;
+              dur_ns = Int64.sub (Clock.now_ns ()) o.o_t0;
+              depth = o.o_depth;
+              attrs = o.o_attrs @ attrs;
+            }
+          :: s.revents
+      end
+
+let instant ?ts_ns ?(attrs = []) t name =
+  match t with
+  | None -> ()
+  | Some s ->
+      let ts_ns = match ts_ns with Some ts -> ts | None -> Clock.now_ns () in
+      s.revents <- Span.Instant { name; ts_ns; attrs } :: s.revents
+
+let events = function Some s -> List.rev s.revents | None -> []
+let open_spans = function Some s -> s.depth | None -> 0
+
+(* ---- counters / gauges ---- *)
+
+let slot tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add tbl name r;
+      r
+
+let add t name v =
+  match t with
+  | None -> ()
+  | Some s ->
+      let r = slot s.counters name in
+      r := !r +. v
+
+let set t name v =
+  match t with None -> () | Some s -> slot s.gauges name := v
+
+let sorted tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters = function Some s -> sorted s.counters | None -> []
+let gauges = function Some s -> sorted s.gauges | None -> []
+
+module Counter = struct
+  type t = float ref
+
+  (* On a null trace the handle is a fresh unregistered cell: writes land
+     nowhere visible, reads give back what was written — harmless. *)
+  let make tr name =
+    match tr with None -> ref 0.0 | Some s -> slot s.counters name
+
+  let add c v = c := !c +. v
+  let incr c = c := !c +. 1.0
+  let value c = !c
+end
+
+module Gauge = struct
+  type t = float ref
+
+  let make tr name =
+    match tr with None -> ref 0.0 | Some s -> slot s.gauges name
+
+  let set g v = g := v
+  let value g = !g
+end
+
+(* ---- ambient trace (domain-local) ---- *)
+
+let ambient_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let with_ambient t f =
+  let prev = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key t;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key prev) f
+
+let ambient () = Domain.DLS.get ambient_key
+let emit name v = add (Domain.DLS.get ambient_key) name v
+let emit_set name v = set (Domain.DLS.get ambient_key) name v
+
+let with_span ?attrs t name f =
+  match t with
+  | None -> f ()
+  | Some _ ->
+      let sp = begin_span ?attrs t name in
+      with_ambient t (fun () ->
+          Fun.protect ~finally:(fun () -> end_span sp) f)

@@ -1,0 +1,110 @@
+(** Per-task trace sink: span events, instants, and a counter/gauge
+    registry, all on the monotonic clock.
+
+    One [t] per flow task — tasks never share one, so recording needs no
+    synchronization (the sweep merges finished traces by task id at export
+    time).  {!null} is the disabled sink: every operation on it is a
+    no-op, so an uninstrumented run pays one branch per call site and
+    nothing else.
+
+    {2 Ambient trace}
+
+    Inner loops (the SAT solver, cut enumeration, the annealer,
+    PathFinder) publish their counters through the domain-local {e
+    ambient} trace instead of threading a [t] through every signature:
+    {!with_span}/{!with_ambient} install the task's trace for the dynamic
+    extent of the flow run, and {!emit} adds to it — or does nothing when
+    no trace is installed.  Each flow task runs wholly on one domain, so
+    the ambient trace is never shared across domains. *)
+
+type t
+
+val null : t
+(** The disabled sink. *)
+
+val create : ?tid:int -> ?label:string -> unit -> t
+(** A live sink.  [tid] (default 0) becomes the Chrome-trace thread id
+    when traces are merged at export; [label] the thread name. *)
+
+val enabled : t -> bool
+val tid : t -> int
+val label : t -> string
+
+(** {2 Spans} *)
+
+type span
+(** An open span handle.  On {!null} traces the handle is inert. *)
+
+val begin_span : ?attrs:(string * Span.attr) list -> t -> string -> span
+
+val end_span : ?attrs:(string * Span.attr) list -> span -> unit
+(** Records the completed span; [attrs] are appended to the open-time
+    attributes.  Closing a span twice is a no-op. *)
+
+val with_span : ?attrs:(string * Span.attr) list -> t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span, closing it even when [f]
+    raises — spans recorded this way always balance and nest properly.
+    Also installs [t] as the ambient trace for the extent of [f]. *)
+
+val instant : ?ts_ns:int64 -> ?attrs:(string * Span.attr) list -> t -> string -> unit
+(** A point event; [ts_ns] (default: now) lets callers replay events
+    recorded elsewhere — e.g. timestamped {!Vpga_resil.Log} entries —
+    onto the trace timeline. *)
+
+val events : t -> Span.event list
+(** In recording order (a span is recorded when it {e closes}, so parents
+    follow their children).  Empty for {!null}. *)
+
+val open_spans : t -> int
+(** Currently open (begun, not yet ended) spans; 0 after a balanced run. *)
+
+(** {2 Counter / gauge registry} *)
+
+val add : t -> string -> float -> unit
+(** Accumulate into the named counter (registered on first use). *)
+
+val set : t -> string -> float -> unit
+(** Set the named gauge to its latest value. *)
+
+val counters : t -> (string * float) list
+(** Name-sorted.  Empty for {!null}. *)
+
+val gauges : t -> (string * float) list
+(** Name-sorted.  Empty for {!null}. *)
+
+(** Handle-style counter: resolve the registry slot once, bump it from a
+    hot loop without further lookups. *)
+module Counter : sig
+  type trace := t
+  type t
+
+  val make : trace -> string -> t
+  val add : t -> float -> unit
+  val incr : t -> unit
+  val value : t -> float
+end
+
+(** Latest-value gauge handle. *)
+module Gauge : sig
+  type trace := t
+  type t
+
+  val make : trace -> string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+(** {2 Ambient trace} *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install [t] as this domain's ambient trace for the extent of the
+    thunk (restoring the previous one after, even on exceptions). *)
+
+val ambient : unit -> t
+(** The installed trace, or {!null}. *)
+
+val emit : string -> float -> unit
+(** [add] on the ambient trace; no-op when none is installed. *)
+
+val emit_set : string -> float -> unit
+(** [set] on the ambient trace; no-op when none is installed. *)

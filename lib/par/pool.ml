@@ -3,7 +3,13 @@
    for producers).  No work stealing — tasks here are whole flow runs, so
    queue contention is negligible next to task cost. *)
 
-type task = Run of (unit -> unit) | Stop
+type task = Run of { f : unit -> unit; enq_ns : int64 } | Stop
+
+type stats = {
+  tasks : int;
+  queue_wait_ns : int64;
+  busy_ns : int64 array;
+}
 
 type t = {
   lock : Mutex.t;
@@ -13,6 +19,11 @@ type t = {
   capacity : int;
   mutable workers : unit Domain.t list;
   mutable stopped : bool;
+  (* Accounting, guarded by [lock]; touched once per task, so contention
+     stays negligible next to task cost. *)
+  mutable tasks_run : int;
+  mutable wait_ns : int64;
+  worker_busy_ns : int64 array;
 }
 
 type 'a state =
@@ -28,7 +39,7 @@ type 'a future = {
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
-let rec worker p =
+let rec worker p i =
   Mutex.lock p.lock;
   while Queue.is_empty p.queue do
     Condition.wait p.not_empty p.lock
@@ -38,13 +49,21 @@ let rec worker p =
   Mutex.unlock p.lock;
   match task with
   | Stop -> ()
-  | Run f ->
+  | Run { f; enq_ns } ->
+      let deq_ns = Vpga_obs.Clock.now_ns () in
       (* [submit] already captures task exceptions into the future, but a
          worker domain must survive (and keep serving siblings) even if a
          raw task leaks one — a dead worker would strand every queued
          task behind it and leak the domain at shutdown. *)
       (try f () with _ -> ());
-      worker p
+      let done_ns = Vpga_obs.Clock.now_ns () in
+      Mutex.lock p.lock;
+      p.tasks_run <- p.tasks_run + 1;
+      p.wait_ns <- Int64.add p.wait_ns (Int64.sub deq_ns enq_ns);
+      p.worker_busy_ns.(i) <-
+        Int64.add p.worker_busy_ns.(i) (Int64.sub done_ns deq_ns);
+      Mutex.unlock p.lock;
+      worker p i
 
 let create ?capacity ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
@@ -59,10 +78,25 @@ let create ?capacity ~jobs () =
       capacity;
       workers = [];
       stopped = false;
+      tasks_run = 0;
+      wait_ns = 0L;
+      worker_busy_ns = Array.make jobs 0L;
     }
   in
-  p.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker p));
+  p.workers <- List.init jobs (fun i -> Domain.spawn (fun () -> worker p i));
   p
+
+let stats p =
+  Mutex.lock p.lock;
+  let s =
+    {
+      tasks = p.tasks_run;
+      queue_wait_ns = p.wait_ns;
+      busy_ns = Array.copy p.worker_busy_ns;
+    }
+  in
+  Mutex.unlock p.lock;
+  s
 
 let enqueue p task =
   Mutex.lock p.lock;
@@ -90,7 +124,7 @@ let submit p f =
     Condition.broadcast fut.f_done;
     Mutex.unlock fut.f_lock
   in
-  enqueue p (Run run);
+  enqueue p (Run { f = run; enq_ns = Vpga_obs.Clock.now_ns () });
   fut
 
 let await_state fut =
@@ -154,6 +188,42 @@ let run ?jobs thunks =
         | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
         | Pending -> assert false)
       states
+  end
+
+let run_stats ?jobs thunks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length thunks in
+  if jobs = 1 || n <= 1 then begin
+    (* Inline reference semantics, still accounted: one "worker" slot,
+       zero queue wait. *)
+    let busy = ref 0L in
+    let results =
+      List.map
+        (fun f ->
+          let t0 = Vpga_obs.Clock.now_ns () in
+          let v = f () in
+          busy := Int64.add !busy (Int64.sub (Vpga_obs.Clock.now_ns ()) t0);
+          v)
+        thunks
+    in
+    (results, { tasks = n; queue_wait_ns = 0L; busy_ns = [| !busy |] })
+  end
+  else begin
+    let p = create ~jobs:(min jobs n) () in
+    let futs = List.map (submit p) thunks in
+    let states = List.map await_state futs in
+    (* Snapshot only after the workers have joined: a worker fulfills a
+       task's future before it books the task's accounting, so a snapshot
+       taken right after the last await could miss the final task. *)
+    shutdown p;
+    let st = stats p in
+    ( List.map
+        (function
+          | Done v -> v
+          | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Pending -> assert false)
+        states,
+      st )
   end
 
 let try_run ?jobs thunks =

@@ -24,6 +24,16 @@ type t
 type 'a future
 (** The pending result of a submitted task. *)
 
+type stats = {
+  tasks : int;  (** tasks executed to completion *)
+  queue_wait_ns : int64;
+      (** total time tasks spent queued (submit to dequeue), summed *)
+  busy_ns : int64 array;
+      (** per-worker time spent executing tasks, by worker index *)
+}
+(** Pool accounting on the monotonic clock ({!Vpga_obs.Clock}); updated
+    once per task, so the cost is invisible next to coarse tasks. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], floor 1: leave one
     hardware context for the submitting domain. *)
@@ -46,6 +56,9 @@ val shutdown : t -> unit
 (** Drain the queue, stop the workers and join their domains.  Already
     submitted tasks all run before the workers exit.  Idempotent. *)
 
+val stats : t -> stats
+(** A consistent snapshot of the pool's accounting so far. *)
+
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run ~jobs thunks]: execute every thunk on a transient pool of
     [min jobs (length thunks)] workers and return the results in
@@ -53,6 +66,11 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
     runs inline, sequentially, without spawning a domain.  If any task
     raised, the pool is still shut down cleanly and then the first
     failure (in submission order) is re-raised. *)
+
+val run_stats : ?jobs:int -> (unit -> 'a) list -> 'a list * stats
+(** {!run}, also returning the transient pool's {!type-stats}.  With
+    [jobs = 1] (inline execution) the stats carry one busy slot and zero
+    queue wait. *)
 
 val try_run : ?jobs:int -> (unit -> 'a) list -> ('a, exn) result list
 (** Like {!run}, but a task's exception is captured into its own slot

@@ -199,6 +199,12 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
         window_h := max (pl.Placement.die_h /. 50.0) (!window_h *. 0.8)
       end
     done;
+    (* Feed the ambient trace's counter registry (no-op when tracing is
+       off); one walk may run several times under a restart policy, so
+       these accumulate across attempts. *)
+    Vpga_obs.Trace.emit "anneal.walks" 1.0;
+    Vpga_obs.Trace.emit "anneal.moves" (float_of_int iterations);
+    Vpga_obs.Trace.emit "anneal.accepted" (float_of_int !accepted);
     {
       initial_cost;
       final_cost = !total;

@@ -9,11 +9,18 @@ type event =
   | Escalation of { stage : string; what : string }
   | Degraded of { stage : string; what : string }
 
-type t = { mutable events : event list (* newest first *) }
+type timed = { at_ns : int64; event : event }
 
-let create () = { events = [] }
-let record t e = t.events <- e :: t.events
-let events t = List.rev t.events
+type t = { mutable rev_timed : timed list (* newest first *) }
+
+let create () = { rev_timed = [] }
+
+let record t e =
+  t.rev_timed <-
+    { at_ns = Vpga_obs.Clock.now_ns (); event = e } :: t.rev_timed
+
+let events t = List.rev_map (fun te -> te.event) t.rev_timed
+let timed t = List.rev t.rev_timed
 
 let event_to_string = function
   | Retry { stage; attempt; reason } ->

@@ -54,6 +54,11 @@ let route_placement ?grid_cols ?capacity ?(max_iterations = 30) pl =
     end
   in
   let iterations, final_overflow = negotiate 1 0.5 in
+  (* Ambient-trace counters (no-op when tracing is off); accumulate
+     across the escalation policy's repeated routing attempts. *)
+  Vpga_obs.Trace.emit "route.ripup_iterations" (float_of_int iterations);
+  Vpga_obs.Trace.emit "route.overflow" (float_of_int final_overflow);
+  Vpga_obs.Trace.emit "route.nets" (float_of_int (List.length net_list));
   let routes =
     List.mapi
       (fun i (net, _) ->

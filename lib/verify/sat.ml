@@ -27,6 +27,11 @@ type solver = {
   mutable var_inc : float;
   phase : bool array; (* saved phase per var *)
   seen : bool array; (* scratch for conflict analysis *)
+  (* effort counters, reported through [solve_stats] and the ambient
+     trace *)
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_props : int;
 }
 
 let var l = l lsr 1
@@ -55,6 +60,9 @@ let create nvars =
     var_inc = 1.0;
     phase = Array.make (max 1 nvars) false;
     seen = Array.make (max 1 nvars) false;
+    n_conflicts = 0;
+    n_decisions = 0;
+    n_props = 0;
   }
 
 let bump s v =
@@ -69,6 +77,7 @@ let bump s v =
 let decay s = s.var_inc <- s.var_inc /. 0.95
 
 let enqueue s l reason =
+  s.n_props <- s.n_props + 1;
   let v = var l in
   s.assign.(v) <- 1 - (l land 1);
   s.level.(v) <- s.dlevel;
@@ -227,6 +236,7 @@ let decide s vars =
   match !best with
   | -1 -> false
   | v ->
+      s.n_decisions <- s.n_decisions + 1;
       s.trail_lim.(s.dlevel) <- s.trail_n;
       s.dlevel <- s.dlevel + 1;
       enqueue s ((2 * v) lor (if s.phase.(v) then 0 else 1)) (-1);
@@ -265,7 +275,10 @@ let simplify_clause s c =
 (* [max_conflicts] bounds the search effort; when exhausted the solver
    answers [Unknown] (used by the SAT sweeper, whose merges are optional).
    Without it the search runs to completion. *)
-let solve ?max_conflicts ~nvars clauses =
+
+type stats = { conflicts : int; decisions : int; propagations : int }
+
+let solve_counted ?max_conflicts ~nvars clauses =
   let s = create nvars in
   let vars =
     let mark = Array.make (max 1 nvars) false in
@@ -287,20 +300,21 @@ let solve ?max_conflicts ~nvars clauses =
         | Some c -> ignore (add_clause_watched s c))
       clauses
   with
-  | exception Trivially_unsat -> Unsat
+  | exception Trivially_unsat -> (Unsat, s)
   | () ->
       let restart_limit = ref 100 in
       let conflicts_here = ref 0 in
       let conflicts_total = ref 0 in
       let answer = ref None in
       (* Top-level propagation of input units. *)
-      if propagate s >= 0 then Unsat
+      if propagate s >= 0 then (Unsat, s)
       else begin
         while !answer = None do
           let confl = propagate s in
           if confl >= 0 then begin
             incr conflicts_here;
             incr conflicts_total;
+            s.n_conflicts <- s.n_conflicts + 1;
             (match max_conflicts with
             | Some limit when !conflicts_total >= limit ->
                 answer := Some Unknown
@@ -327,8 +341,33 @@ let solve ?max_conflicts ~nvars clauses =
             answer :=
               Some (Sat (Array.map (fun a -> a = 1) (Array.sub s.assign 0 nvars)))
         done;
-        match !answer with Some r -> r | None -> assert false
+        match !answer with Some r -> (r, s) | None -> assert false
       end
+
+let stats_of s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_props;
+  }
+
+(* Every solve reports its effort into the ambient trace's counter
+   registry (no-op when tracing is off), so the flow's per-task counters
+   see all SAT work — CEC miters and sweeping merge proofs alike. *)
+let emit_stats st =
+  Vpga_obs.Trace.emit "sat.solves" 1.0;
+  Vpga_obs.Trace.emit "sat.conflicts" (float_of_int st.conflicts);
+  Vpga_obs.Trace.emit "sat.decisions" (float_of_int st.decisions);
+  Vpga_obs.Trace.emit "sat.propagations" (float_of_int st.propagations)
+
+let solve_stats ?max_conflicts ~nvars clauses =
+  let r, s = solve_counted ?max_conflicts ~nvars clauses in
+  let st = stats_of s in
+  emit_stats st;
+  (r, st)
+
+let solve ?max_conflicts ~nvars clauses =
+  fst (solve_stats ?max_conflicts ~nvars clauses)
 
 (* Convenience for tests: check a full assignment against a CNF. *)
 let satisfies assignment clauses =

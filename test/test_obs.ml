@@ -1,0 +1,410 @@
+(* The observability layer (Vpga_obs): span balance and nesting, the
+   counter/gauge registry, the ambient-trace mechanism, Chrome trace-event
+   export and readback, the per-stage report, and the contracts the flow
+   depends on — tracing changes no result, counters are jobs-independent,
+   stage spans cover (almost) all of the flow's wall time, and recovery
+   events land on the trace timeline. *)
+
+open Vpga_flow
+(* after the open: Vpga_flow also has an Export module (artifacts), so
+   the observability aliases must shadow it, not the other way round *)
+module Clock = Vpga_obs.Clock
+module Span = Vpga_obs.Span
+module Trace = Vpga_obs.Trace
+module Json = Vpga_obs.Json
+module Export = Vpga_obs.Export
+module Pool = Vpga_par.Pool
+module Log = Vpga_resil.Log
+module Arch = Vpga_plb.Arch
+
+let alu4 = lazy (Vpga_designs.Alu.build ~width:4 ())
+
+(* --- Clock ------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (Int64.compare b a >= 0);
+  Alcotest.(check (float 1e-9)) "ns_to_s" 1.5 (Clock.ns_to_s 1_500_000_000L)
+
+(* --- Spans ------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  let t = Trace.create ~label:"spans" () in
+  let r =
+    Trace.with_span t "outer" (fun () ->
+        Trace.with_span t "inner1" (fun () -> ());
+        Trace.with_span t "inner2" (fun () ->
+            Trace.with_span t "leaf" (fun () -> ()));
+        42)
+  in
+  Alcotest.(check int) "result through spans" 42 r;
+  Alcotest.(check int) "balanced" 0 (Trace.open_spans t);
+  (* A span records when it closes: children precede their parents. *)
+  let names =
+    List.filter_map
+      (function Span.Complete { name; depth; _ } -> Some (name, depth) | _ -> None)
+      (Trace.events t)
+  in
+  Alcotest.(check (list (pair string int)))
+    "close order and depth"
+    [ ("inner1", 1); ("leaf", 2); ("inner2", 1); ("outer", 0) ]
+    names;
+  (* Children fit inside their parent's interval. *)
+  let find n =
+    List.find_map
+      (function
+        | Span.Complete { name; ts_ns; dur_ns; _ } when name = n ->
+            Some (ts_ns, Int64.add ts_ns dur_ns)
+        | _ -> None)
+      (Trace.events t)
+    |> Option.get
+  in
+  let os, oe = find "outer" and is_, ie = find "inner2" in
+  Alcotest.(check bool) "child starts after parent" true (is_ >= os);
+  Alcotest.(check bool) "child ends before parent" true (ie <= oe)
+
+let test_span_balance_on_exception () =
+  let t = Trace.create () in
+  (try
+     Trace.with_span t "outer" (fun () ->
+         Trace.with_span t "inner" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "balanced after raise" 0 (Trace.open_spans t);
+  Alcotest.(check int) "both spans recorded" 2 (List.length (Trace.events t))
+
+let test_span_manual_and_double_close () =
+  let t = Trace.create () in
+  let s = Trace.begin_span t "manual" in
+  Alcotest.(check int) "open" 1 (Trace.open_spans t);
+  Trace.end_span s;
+  Trace.end_span s;
+  Alcotest.(check int) "closed once" 1 (List.length (Trace.events t));
+  Alcotest.(check int) "no longer open" 0 (Trace.open_spans t)
+
+let test_null_trace_no_ops () =
+  let t = Trace.null in
+  Alcotest.(check bool) "disabled" false (Trace.enabled t);
+  Trace.with_span t "s" (fun () -> ());
+  Trace.add t "c" 1.0;
+  Trace.set t "g" 2.0;
+  Trace.instant t "i";
+  let c = Trace.Counter.make t "c" in
+  Trace.Counter.incr c;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events t));
+  Alcotest.(check int) "no counters" 0 (List.length (Trace.counters t))
+
+(* --- Counters / gauges ------------------------------------------------ *)
+
+let test_counter_registry () =
+  let t = Trace.create () in
+  Trace.add t "b" 1.0;
+  Trace.add t "a" 2.0;
+  Trace.add t "b" 3.0;
+  Trace.set t "g" 7.0;
+  Trace.set t "g" 9.0;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "counters accumulate, name-sorted"
+    [ ("a", 2.0); ("b", 4.0) ]
+    (Trace.counters t);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "gauge keeps latest" [ ("g", 9.0) ] (Trace.gauges t);
+  let h = Trace.Counter.make t "a" in
+  Trace.Counter.incr h;
+  Trace.Counter.add h 10.0;
+  Alcotest.(check (float 0.0)) "handle shares the slot" 13.0 (Trace.Counter.value h);
+  let g = Trace.Gauge.make t "g" in
+  Trace.Gauge.set g 1.0;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "gauge handle" [ ("g", 1.0) ] (Trace.gauges t)
+
+let test_ambient_scoping () =
+  let t = Trace.create () in
+  Trace.emit "outside" 1.0;
+  Trace.with_ambient t (fun () -> Trace.emit "inside" 2.0);
+  Trace.emit "outside" 1.0;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "only in-scope emissions land" [ ("inside", 2.0) ]
+    (Trace.counters t);
+  (* with_span installs the ambient trace too. *)
+  let t2 = Trace.create () in
+  Trace.with_span t2 "s" (fun () -> Trace.emit "k" 5.0);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "with_span installs ambient" [ ("k", 5.0) ]
+    (Trace.counters t2)
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Arr [ Json.Num 1.0; Json.Num 2.5; Json.Null ]);
+        ("s", Json.Str "q\"uo\\te\n");
+        ("b", Json.Bool true);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+
+let test_json_escapes_and_errors () =
+  (match Json.parse {|"Aé"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape parse");
+  (match Json.parse "{\"a\": 1} garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.parse "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated array accepted"
+
+(* --- Chrome export ---------------------------------------------------- *)
+
+let traced_flow ?log ?(seed = 11) () =
+  let t = Trace.create ~tid:3 ~label:"alu/granular" () in
+  let pair =
+    Flow.run ~seed ?log ~trace:t Arch.granular_plb (Lazy.force alu4)
+  in
+  (t, pair)
+
+let test_chrome_export_valid () =
+  let t, _ = traced_flow () in
+  let doc = Export.chrome ~process_name:"test" [ t ] in
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "chrome doc is not valid JSON: %s" e
+  | Ok doc' -> (
+      match Json.member "traceEvents" doc' with
+      | Some (Json.Arr events) ->
+          Alcotest.(check bool) "has events" true (List.length events > 10);
+          List.iter
+            (fun ev ->
+              let has k = Json.member k ev <> None in
+              Alcotest.(check bool) "event has name" true (has "name");
+              Alcotest.(check bool) "event has ph" true (has "ph");
+              Alcotest.(check bool) "event has pid" true (has "pid"))
+            events;
+          (* Every complete event's ts is relative to the earliest one. *)
+          let ts_of ev = Option.bind (Json.member "ts" ev) Json.to_float in
+          let tss = List.filter_map ts_of events in
+          Alcotest.(check bool)
+            "timestamps rebased to zero" true
+            (List.for_all (fun ts -> ts >= 0.0) tss
+            && List.exists (fun ts -> ts = 0.0) tss)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_flow_span_coverage () =
+  let t, _ = traced_flow () in
+  let root_dur = ref 0.0 and stage_dur = ref 0.0 in
+  List.iter
+    (function
+      | Span.Complete { name; dur_ns; depth; _ } ->
+          let d = Clock.ns_to_s dur_ns in
+          if depth = 0 then begin
+            Alcotest.(check string) "single root is the flow span" "flow" name;
+            root_dur := !root_dur +. d
+          end
+          else if depth = 1 then stage_dur := !stage_dur +. d
+      | Span.Instant _ -> ())
+    (Trace.events t);
+  Alcotest.(check bool) "root span present" true (!root_dur > 0.0);
+  let coverage = !stage_dur /. !root_dur in
+  if coverage < 0.95 then
+    Alcotest.failf "stage spans cover %.1f%% of the flow (< 95%%)"
+      (100.0 *. coverage);
+  (* The taxonomy's tentpole stages all appear. *)
+  let names =
+    List.filter_map
+      (function
+        | Span.Complete { name; depth = 1; _ } -> Some name | _ -> None)
+      (Trace.events t)
+  in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) (stage ^ " span present") true
+        (List.mem stage names))
+    [
+      "map"; "pack:quadrisect"; "place:anneal"; "route:a"; "route:b";
+      "sta:a"; "sta:b"; "verify:packing";
+    ]
+
+let test_flow_counters_populated () =
+  let t, _ = traced_flow () in
+  let c = Trace.counters t in
+  let has n = List.mem_assoc n c in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " counted") true (has n))
+    [
+      "anneal.walks"; "anneal.moves"; "anneal.accepted";
+      "route.ripup_iterations"; "route.nets"; "cuts.nodes";
+      "cuts.enumerated";
+    ];
+  Alcotest.(check bool) "moves > 0" true (List.assoc "anneal.moves" c > 0.0)
+
+let test_resil_events_on_timeline () =
+  (* Events recorded into the caller's log land on the trace timeline as
+     instants, tagged with their stage. *)
+  let log = Log.create () in
+  Log.record log (Log.Degraded { stage = "verify:cec"; what = "budget" });
+  Log.record log
+    (Log.Retry { stage = "route"; attempt = 1; reason = "overflow" });
+  let t, _ = traced_flow ~log () in
+  let instants =
+    List.filter_map
+      (function Span.Instant { name; _ } -> Some name | _ -> None)
+      (Trace.events t)
+  in
+  Alcotest.(check bool) "degrade instant" true
+    (List.mem "resil:degrade" instants);
+  Alcotest.(check bool) "retry instant" true (List.mem "resil:retry" instants)
+
+let test_trace_off_same_result () =
+  let nl = Lazy.force alu4 in
+  let run trace = Flow.run ~seed:7 ~trace Arch.granular_plb nl in
+  let a = run Trace.null in
+  let b = run (Trace.create ()) in
+  let check name f = Alcotest.(check (float 0.0)) name (f a) (f b) in
+  check "die a" (fun p -> p.Flow.a.Flow.die_area);
+  check "die b" (fun p -> p.Flow.b.Flow.die_area);
+  check "wire a" (fun p -> p.Flow.a.Flow.wirelength);
+  check "wire b" (fun p -> p.Flow.b.Flow.wirelength);
+  check "slack b" (fun p -> p.Flow.b.Flow.avg_top10_slack);
+  check "power b" (fun p -> p.Flow.b.Flow.power_uw);
+  Alcotest.(check int) "vias b" b.Flow.b.Flow.routed_vias
+    a.Flow.b.Flow.routed_vias
+
+let test_report_rendering () =
+  let t, _ = traced_flow () in
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Export.report_traces fmt [ t ];
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length out && (String.sub out i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("report mentions " ^ s) true (contains s))
+    [ "flow"; "place:anneal"; "anneal.moves" ]
+
+let test_stage_totals () =
+  let t, _ = traced_flow () in
+  let totals = Export.stage_totals [ t; Trace.null ] in
+  Alcotest.(check bool) "nonempty" true (totals <> []);
+  let names = List.map fst totals in
+  Alcotest.(check (list string)) "name-sorted" (List.sort compare names) names;
+  Alcotest.(check bool) "no root in stage totals" true
+    (not (List.mem "flow" names));
+  Alcotest.(check bool) "all positive" true
+    (List.for_all (fun (_, s) -> s >= 0.0) totals)
+
+(* --- Sweep integration ------------------------------------------------ *)
+
+let test_sweep_counters_jobs_independent () =
+  let designs = [ ("ALU", Lazy.force alu4) ] in
+  let sweep jobs =
+    Experiments.run_tasks ~seed:1 ~jobs ~traced:true ~designs Experiments.Test
+  in
+  let c1 = List.map (fun r -> Trace.counters r.Experiments.t_trace) (sweep 1) in
+  let c4 = List.map (fun r -> Trace.counters r.Experiments.t_trace) (sweep 4) in
+  Alcotest.(check (list (list (pair string (float 0.0)))))
+    "counters jobs=1 == jobs=4" c1 c4;
+  Alcotest.(check bool) "counters nonempty" true
+    (List.for_all (fun c -> c <> []) c1)
+
+let test_pool_run_stats () =
+  let tasks = List.init 8 (fun i -> fun () -> Unix.sleepf 0.002; i) in
+  let results, st = Pool.run_stats ~jobs:4 tasks in
+  Alcotest.(check (list int)) "results" (List.init 8 Fun.id) results;
+  Alcotest.(check int) "tasks counted" 8 st.Pool.tasks;
+  Alcotest.(check int) "one busy slot per worker" 4
+    (Array.length st.Pool.busy_ns);
+  let total_busy = Array.fold_left Int64.add 0L st.Pool.busy_ns in
+  Alcotest.(check bool) "workers were busy" true (total_busy > 0L);
+  Alcotest.(check bool) "queue wait non-negative" true
+    (st.Pool.queue_wait_ns >= 0L);
+  (* Inline execution: one busy slot, zero queue wait. *)
+  let _, st1 = Pool.run_stats ~jobs:1 [ (fun () -> ()); (fun () -> ()) ] in
+  Alcotest.(check int) "inline tasks" 2 st1.Pool.tasks;
+  Alcotest.(check int) "inline busy slots" 1 (Array.length st1.Pool.busy_ns);
+  Alcotest.(check bool) "inline no queue wait" true
+    (st1.Pool.queue_wait_ns = 0L)
+
+(* --- Resil log timestamps --------------------------------------------- *)
+
+let test_log_timestamps () =
+  let log = Log.create () in
+  Log.record log (Log.Retry { stage = "s"; attempt = 1; reason = "r" });
+  Log.record log (Log.Escalation { stage = "s"; what = "w" });
+  Log.record log (Log.Degraded { stage = "s"; what = "w" });
+  let timed = Log.timed log in
+  Alcotest.(check int) "all recorded" 3 (List.length timed);
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        Int64.compare a.Log.at_ns b.Log.at_ns <= 0 && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps non-decreasing" true (nondecreasing timed);
+  (* The string rendering predates the timestamps and must not change:
+     failure records and tests key on it. *)
+  Alcotest.(check (list string))
+    "event_to_string stable"
+    [
+      "retry s (attempt 1): r"; "escalate s: w"; "degrade s: w";
+    ]
+    (Log.strings log)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and close order" `Quick test_span_nesting;
+          Alcotest.test_case "balance on exception" `Quick
+            test_span_balance_on_exception;
+          Alcotest.test_case "manual and double close" `Quick
+            test_span_manual_and_double_close;
+          Alcotest.test_case "null trace no-ops" `Quick test_null_trace_no_ops;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counter_registry;
+          Alcotest.test_case "ambient scoping" `Quick test_ambient_scoping;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes and errors" `Quick
+            test_json_escapes_and_errors;
+        ] );
+      ( "flow tracing",
+        [
+          Alcotest.test_case "chrome export is valid JSON" `Quick
+            test_chrome_export_valid;
+          Alcotest.test_case "stage spans cover the flow" `Quick
+            test_flow_span_coverage;
+          Alcotest.test_case "inner-loop counters populated" `Quick
+            test_flow_counters_populated;
+          Alcotest.test_case "resil events become instants" `Quick
+            test_resil_events_on_timeline;
+          Alcotest.test_case "tracing changes no result" `Quick
+            test_trace_off_same_result;
+          Alcotest.test_case "report renders stages" `Quick
+            test_report_rendering;
+          Alcotest.test_case "stage totals" `Quick test_stage_totals;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "counters jobs=1 == jobs=4" `Slow
+            test_sweep_counters_jobs_independent;
+          Alcotest.test_case "pool run_stats" `Quick test_pool_run_stats;
+        ] );
+      ( "resil log",
+        [ Alcotest.test_case "timestamps" `Quick test_log_timestamps ] );
+    ]
