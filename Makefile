@@ -9,13 +9,17 @@
 #   make bench      full paper reproduction + kernel benchmarks;
 #                   writes BENCH_sweep.json with a per-stage stages_s
 #                   breakdown (JOBS=N to set worker domains)
+#   make perfdiff   re-run just the kernels and diff against the committed
+#                   BENCH_sweep.json; exits nonzero past TOLERANCE
+#                   (fractional, default 0.25)
 #   make trace      run one traced flow (alu / granular) and write
 #                   trace.json -- open it at https://ui.perfetto.dev or
 #                   summarize with `dune exec bin/vpga.exe -- report trace.json`
 
 JOBS ?=
+TOLERANCE ?=
 
-.PHONY: all build test verify faults obs bench trace clean
+.PHONY: all build test verify faults obs bench perfdiff trace clean
 
 all: build test
 
@@ -40,6 +44,9 @@ trace:
 
 bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-jobs $(JOBS),)
+
+perfdiff:
+	dune exec bench/main.exe -- -perfdiff $(if $(TOLERANCE),-tolerance $(TOLERANCE),)
 
 clean:
 	dune clean

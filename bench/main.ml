@@ -16,20 +16,35 @@ open Vpga_core.Vpga
 
 let jobs = ref (Vpga_par.Pool.default_jobs ())
 let json_path = ref "BENCH_sweep.json"
+let perfdiff = ref false
+let tolerance = ref 0.25
 
 let set_jobs n =
   if n < 1 then
     raise (Arg.Bad (Printf.sprintf "-jobs expects a positive count, got %d" n));
   jobs := n
 
+let set_tolerance f =
+  if f <= 0.0 then
+    raise (Arg.Bad (Printf.sprintf "-tolerance expects a positive fraction, got %g" f));
+  tolerance := f
+
 let () =
   Arg.parse
     [
       ("-jobs", Arg.Int set_jobs, "N  worker domains for the E6-E9 flow sweep");
       ("-json", Arg.Set_string json_path, "FILE  where to write the JSON record");
+      ( "-perfdiff",
+        Arg.Set perfdiff,
+        "  skip the tables; re-run the kernels and diff against the \
+         committed baseline, exiting nonzero on regression" );
+      ( "-tolerance",
+        Arg.Float set_tolerance,
+        "FRAC  allowed fractional per-kernel slowdown for -perfdiff \
+         (default 0.25)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [-jobs N] [-json FILE]"
+    "bench/main.exe [-jobs N] [-json FILE] [-perfdiff [-tolerance FRAC]]"
 
 let sweep_seconds = ref 0.0
 let sweep_recovery = ref Recovery.zero
@@ -101,6 +116,25 @@ let fixture_placed =
      Global_place.place ~seed:3 pl;
      pl)
 
+(* A legalized, snapped packing for the refinement kernel (its own
+   placement so refinement moves never disturb the shared fixture). *)
+let fixture_packed =
+  lazy
+    (let nl = Buffering.insert ~max_fanout:8 (Lazy.force fixture_compacted) in
+     let pl = Placement.create nl in
+     Global_place.place ~seed:3 pl;
+     let q = Quadrisect.legalize Arch.granular_plb pl in
+     let side = sqrt Arch.granular_plb.Arch.tile_area in
+     let pl_b =
+       {
+         pl with
+         Placement.die_w = float_of_int q.Quadrisect.cols *. side;
+         die_h = float_of_int q.Quadrisect.rows *. side;
+       }
+     in
+     Quadrisect.snap q pl_b;
+     (q, pl_b))
+
 let bench_tests =
   [
     (* E1: the Section-2 classification *)
@@ -128,6 +162,12 @@ let bench_tests =
     Test.make ~name:"e6_quadrisect_pack"
       (Staged.stage (fun () ->
            ignore (Quadrisect.legalize Arch.granular_plb (Lazy.force fixture_placed))));
+    (* The packing <-> physical-synthesis refinement loop (mutates its own
+       fixture in place, like the annealer kernel above). *)
+    Test.make ~name:"e6_refine_pack"
+      (Staged.stage (fun () ->
+           let q, pl_b = Lazy.force fixture_packed in
+           ignore (Refine.run ~iterations:20_000 ~seed:7 q pl_b)));
     (* E7 kernels: routing and timing behind Table 2 *)
     Test.make ~name:"e7_pathfinder_route"
       (Staged.stage (fun () ->
@@ -210,9 +250,69 @@ let write_json kernels =
   close_out oc;
   Format.printf "@.wrote %s@." !json_path
 
+(* Perf regression gate: re-run the kernels and compare against the
+   committed baseline record, failing loudly past the tolerance.  Bechamel
+   estimates on shared machines are noisy, so the tolerance is a fraction
+   (default 0.25 = fail on >25 % slowdown); speedups and kernels without a
+   baseline entry are reported but never fail. *)
+let run_perfdiff () =
+  let baseline =
+    let ic = open_in !json_path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Obs.Json.parse s with
+    | Error msg ->
+        Format.printf "perfdiff: cannot parse %s: %s@." !json_path msg;
+        exit 2
+    | Ok j -> (
+        match Obs.Json.member "kernels_ns_per_run" j with
+        | Some (Obs.Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) ->
+                Option.map (fun f -> (k, f)) (Obs.Json.to_float v))
+              fields
+        | Some _ | None ->
+            Format.printf "perfdiff: %s has no kernels_ns_per_run object@."
+              !json_path;
+            exit 2)
+  in
+  let kernels = run_benchmarks () in
+  section
+    (Printf.sprintf "Per-kernel delta vs %s (tolerance %.0f%%)" !json_path
+       (100.0 *. !tolerance));
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name baseline with
+      | None -> Format.printf "  %-24s %12.0f ns/run  (no baseline)@." name ns
+      | Some base ->
+          let ratio = ns /. base in
+          let flag =
+            if ratio > 1.0 +. !tolerance then begin
+              incr regressions;
+              "  REGRESSION"
+            end
+            else ""
+          in
+          Format.printf "  %-24s %12.0f ns/run  %+7.1f%%%s@." name ns
+            (100.0 *. (ratio -. 1.0))
+            flag)
+    (List.rev kernels);
+  if !regressions > 0 then begin
+    Format.printf "@.perfdiff: %d kernel(s) regressed beyond %.0f%%@."
+      !regressions
+      (100.0 *. !tolerance);
+    exit 1
+  end
+  else Format.printf "@.perfdiff: all kernels within tolerance.@."
+
 let () =
   Format.printf "VPGA granularity exploration: paper-reproduction benchmark@.";
-  reproduce_tables ();
-  let kernels = run_benchmarks () in
-  write_json kernels;
-  Format.printf "@.done.@."
+  if !perfdiff then run_perfdiff ()
+  else begin
+    reproduce_tables ();
+    let kernels = run_benchmarks () in
+    write_json kernels;
+    Format.printf "@.done.@."
+  end

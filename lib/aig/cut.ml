@@ -102,7 +102,7 @@ let enumerate aig ~k ~max_cuts =
          what the area-oriented cover wants; the fanin pair cut and the
          trivial cut keep the small end covered. *)
       let sorted =
-        List.stable_sort (fun a b -> compare (leaf_count b) (leaf_count a)) !acc
+        List.stable_sort (fun a b -> Int.compare (leaf_count b) (leaf_count a)) !acc
       in
       let rec take n = function
         | [] -> []

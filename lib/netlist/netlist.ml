@@ -172,5 +172,5 @@ let pp_stats ppf t =
   Format.fprintf ppf "%s: %d nodes (%d PI, %d PO, %d FF)@." t.dname t.count
     (List.length (inputs t)) (List.length (outputs t)) (List.length (flops t));
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
-  |> List.sort compare
+  |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
   |> List.iter (fun (k, v) -> Format.fprintf ppf "  %-8s %6d@." k v)

@@ -50,4 +50,4 @@ let histogram nl =
       Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
     (Netlist.nodes nl);
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)

@@ -175,9 +175,9 @@ let report fmt doc =
   let span_rows =
     Hashtbl.fold (fun k r acc -> (k, r) :: acc) spans []
     |> List.sort (fun ((d1, n1), r1) ((d2, n2), r2) ->
-           if d1 <> d2 then compare d1 d2
+           if d1 <> d2 then Int.compare d1 d2
            else if r1.total_us <> r2.total_us then
-             compare r2.total_us r1.total_us
+             Float.compare r2.total_us r1.total_us
            else String.compare n1 n2)
   in
   Format.fprintf fmt "%-28s %5s %6s %12s %8s@." "span" "depth" "calls"

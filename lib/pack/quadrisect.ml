@@ -5,6 +5,7 @@ module Gates = Vpga_logic.Gates
 module Arch = Vpga_plb.Arch
 module Config = Vpga_plb.Config
 module Packer = Vpga_plb.Packer
+module Occupancy = Vpga_plb.Occupancy
 module Placement = Vpga_place.Placement
 
 type t = {
@@ -155,17 +156,59 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
       (max 1 (max ff_bound (ceil_div_util comb_slots_demand comb_slots_cap)))
       Arch.all_resources
   in
+  (* ---- incremental machinery shared by every attempt ---- *)
+  let ws = Array.of_list items in
+  let nws = Array.length ws in
+  let n_res = List.length Arch.all_resources in
+  (* Position in [Arch.all_resources]; [wdem] below is laid out in the
+     same order. *)
+  let res_index r =
+    let rec go i = function
+      | [] -> invalid_arg "Quadrisect: unknown resource"
+      | x :: rest -> if x = r then i else go (i + 1) rest
+    in
+    go 0 Arch.all_resources
+  in
+  (* Per-item aggregate-balance demand (min alternative + the flop), as a
+     dense int vector: the drain ledger's unit of account. *)
+  let wdem =
+    Array.map
+      (fun w ->
+        let base = min_demand arch w.item in
+        let a = Array.make n_res 0 in
+        List.iteri (fun i r -> a.(i) <- Arch.Vector.get base r)
+          Arch.all_resources;
+        if w.item.Packer.flop then begin
+          let fi = res_index Arch.Ff in
+          a.(fi) <- a.(fi) + 1
+        end;
+        a)
+      ws
+  in
+  (* One fits memo across all attempts: array growth retries re-ask the
+     same multiset questions. *)
+  let cache = Occupancy.create_cache arch in
+  let drain_moves = ref 0 and ring_steps = ref 0 in
   let attempt dims =
     let cols = dims and rows = dims in
     let tile_w = pl.Placement.die_w /. float_of_int cols in
     let tile_h = pl.Placement.die_h /. float_of_int rows in
     let tile_index c r = (r * cols) + c in
-    (* Recursive quadrisection: fills (node -> tile) assignments. *)
+    (* Recursive quadrisection: fills (node -> tile) assignments.
+       Quadrant membership is an intrusive doubly-linked list over
+       work-item indices (O(1) move), mirroring the prepend/remove order
+       of the original list representation so results stay bit-identical;
+       per-quadrant resource demand is a ledger updated on each move
+       instead of a full fold per balance query. *)
     let assignment = Array.make n (-1) in
-    let rec quadrise items c0 r0 c1 r1 =
-      if items = [] then ()
+    let nxt = Array.make (max 1 nws) (-1) in
+    let prv = Array.make (max 1 nws) (-1) in
+    let rec quadrise members c0 r0 c1 r1 =
+      if Array.length members = 0 then ()
       else if c1 - c0 = 1 && r1 - r0 = 1 then
-        List.iter (fun w -> assignment.(w.node) <- tile_index c0 r0) items
+        Array.iter
+          (fun i -> assignment.(ws.(i).node) <- tile_index c0 r0)
+          members
       else begin
         (* Split the region (vertical first when wider). *)
         let cm = if c1 - c0 > 1 then (c0 + c1) / 2 else c1 in
@@ -179,7 +222,8 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
           |]
         in
         let tiles_in (a, b, c, d) = max 0 (c - a) * max 0 (d - b) in
-        let quad_of w =
+        let quad_of i =
+          let w = ws.(i) in
           let qc =
             if cm >= c1 then 0
             else if w.ix >= float_of_int cm *. tile_w then 1
@@ -192,133 +236,179 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
           in
           (qr * 2) + qc
         in
-        let quads = Array.make 4 [] in
-        List.iter (fun w -> quads.(quad_of w) <- w :: quads.(quad_of w)) items;
-        (* Balance each resource across quadrants. *)
-        let demand_of q =
-          List.fold_left
-            (fun acc w ->
-              Arch.Vector.add acc
-                (Arch.Vector.add (min_demand arch w.item)
-                   (if w.item.Packer.flop then
-                      Arch.Vector.of_list [ (Arch.Ff, 1) ]
-                    else Arch.Vector.zero)))
-            Arch.Vector.zero quads.(q)
+        let head = Array.make 4 (-1) in
+        let qcount = Array.make 4 0 in
+        let dem = Array.make_matrix 4 n_res 0 in
+        let prepend q i =
+          nxt.(i) <- head.(q);
+          prv.(i) <- -1;
+          if head.(q) >= 0 then prv.(head.(q)) <- i;
+          head.(q) <- i;
+          qcount.(q) <- qcount.(q) + 1;
+          let d = wdem.(i) in
+          for r = 0 to n_res - 1 do
+            dem.(q).(r) <- dem.(q).(r) + d.(r)
+          done
         in
-        let cap_of q =
-          let tiles = tiles_in bounds.(q) in
-          float_of_int tiles
+        let unlink q i =
+          if prv.(i) >= 0 then nxt.(prv.(i)) <- nxt.(i)
+          else head.(q) <- nxt.(i);
+          if nxt.(i) >= 0 then prv.(nxt.(i)) <- prv.(i);
+          qcount.(q) <- qcount.(q) - 1;
+          let d = wdem.(i) in
+          for r = 0 to n_res - 1 do
+            dem.(q).(r) <- dem.(q).(r) - d.(r)
+          done
         in
+        Array.iter (fun i -> prepend (quad_of i) i) members;
+        (* Balance each resource across quadrants: move least-critical
+           users of [res] out of overfull quadrants into the emptiest
+           sibling.  Users are sorted by criticality once per
+           (resource, quadrant) — drains only remove from the quadrant,
+           so the sorted queue stays a faithful view — and [over] reads
+           the ledger instead of refolding the membership. *)
         List.iter
           (fun res ->
+            let ri = res_index res in
             let cap_per_tile = Arch.Vector.get arch.Arch.capacity res in
-            if cap_per_tile > 0 then begin
-              let cap q =
-                int_of_float (cap_of q) * cap_per_tile
-              in
-              let over q = Arch.Vector.get (demand_of q) res - cap q in
-              (* Move least-critical users of [res] out of overfull
-                 quadrants into the emptiest sibling. *)
-              let rec drain q guard =
-                if guard > 0 && over q > 0 then begin
-                  let users =
-                    List.filter
-                      (fun w ->
-                        Arch.Vector.get (min_demand arch w.item) res > 0
-                        || (res = Arch.Ff && w.item.Packer.flop))
-                      quads.(q)
-                  in
-                  match
-                    List.sort
-                      (fun a b -> Float.compare a.crit b.crit)
-                      users
-                  with
+            if cap_per_tile > 0 then
+              let cap q = tiles_in bounds.(q) * cap_per_tile in
+              let over q = dem.(q).(ri) - cap q in
+              for q = 0 to 3 do
+                let users = ref [] in
+                let i = ref head.(q) in
+                while !i >= 0 do
+                  if wdem.(!i).(ri) > 0 then users := !i :: !users;
+                  i := nxt.(!i)
+                done;
+                let users =
+                  List.stable_sort
+                    (fun a b -> Float.compare ws.(a).crit ws.(b).crit)
+                    (List.rev !users)
+                in
+                let guard = ref qcount.(q) in
+                let rec drain = function
                   | [] -> ()
-                  | w :: _ ->
-                      let dest =
-                        List.filter (fun q2 -> q2 <> q && cap q2 > 0)
-                          [ 0; 1; 2; 3 ]
-                        |> List.fold_left
-                             (fun best q2 ->
-                               match best with
-                               | None -> Some q2
-                               | Some b ->
-                                   if over q2 < over b then Some q2 else Some b)
-                             None
-                      in
-                      (match dest with
-                      | Some d when over d < 0 ->
-                          quads.(q) <- List.filter (fun u -> u != w) quads.(q);
-                          quads.(d) <- w :: quads.(d)
-                      | Some _ | None -> ());
-                      drain q (guard - 1)
-                end
-              in
-              List.iter (fun q -> drain q (List.length quads.(q))) [ 0; 1; 2; 3 ]
-            end)
+                  | w :: rest ->
+                      if !guard > 0 && over q > 0 then begin
+                        let dest = ref (-1) in
+                        for q2 = 0 to 3 do
+                          if q2 <> q && cap q2 > 0 then
+                            if !dest < 0 || over q2 < over !dest then
+                              dest := q2
+                        done;
+                        if !dest >= 0 && over !dest < 0 then begin
+                          unlink q w;
+                          prepend !dest w;
+                          incr drain_moves;
+                          decr guard;
+                          drain rest
+                        end
+                        (* else: nothing changed, so every remaining
+                           iteration would retry the same head against the
+                           same ledger — a guaranteed no-op; stop. *)
+                      end
+                in
+                drain users
+              done)
           Arch.all_resources;
+        let sub =
+          Array.init 4 (fun q ->
+              let arr = Array.make qcount.(q) 0 in
+              let i = ref head.(q) and k = ref 0 in
+              while !i >= 0 do
+                arr.(!k) <- !i;
+                incr k;
+                i := nxt.(!i)
+              done;
+              arr)
+        in
         Array.iteri
           (fun q (a, b, c, d) ->
-            if tiles_in bounds.(q) > 0 then quadrise quads.(q) a b c d)
+            if tiles_in bounds.(q) > 0 then quadrise sub.(q) a b c d)
           bounds
       end
     in
-    quadrise items 0 0 cols rows;
-    (* Exact per-tile feasibility with nearest-tile spill. *)
-    let tile_items = Array.make (cols * rows) [] in
+    quadrise (Array.init nws Fun.id) 0 0 cols rows;
+    (* Exact per-tile feasibility with nearest-tile spill, against the
+       incremental occupancy state (query == [Packer.fits] on the tile's
+       multiset).  Ring offsets are precomputed per Chebyshev distance and
+       shared by every spill search of this attempt. *)
+    let occ = Array.init (cols * rows) (fun _ -> Occupancy.create cache) in
     let unplaced = ref 0 in
-    let fits_tile tile w =
-      Packer.fits arch (w.item :: List.map (fun u -> u.item) tile_items.(tile))
+    let max_ring = cols + rows in
+    let rings = Array.make (max_ring + 1) [||] in
+    let ring_offsets d =
+      if Array.length rings.(d) = 0 then begin
+        let acc = ref [] in
+        for dc = -d to d do
+          for dr = -d to d do
+            if max (abs dc) (abs dr) = d then acc := (dc, dr) :: !acc
+          done
+        done;
+        rings.(d) <- Array.of_list (List.rev !acc)
+      end;
+      rings.(d)
     in
-    let place_or_spill w =
+    let place_or_spill i =
+      let w = ws.(i) in
       let home = assignment.(w.node) in
       let hc = home mod cols and hr = home / cols in
       let rec ring d =
-        if d > cols + rows then None
+        if d > max_ring then None
         else begin
-          let candidates = ref [] in
-          for c = max 0 (hc - d) to min (cols - 1) (hc + d) do
-            for r = max 0 (hr - d) to min (rows - 1) (hr + d) do
-              if max (abs (c - hc)) (abs (r - hr)) = d then
-                candidates := tile_index c r :: !candidates
-            done
+          let offs = ring_offsets d in
+          let found = ref (-1) in
+          let k = ref 0 in
+          let nk = Array.length offs in
+          while !found < 0 && !k < nk do
+            let dc, dr = offs.(!k) in
+            let c = hc + dc and r = hr + dr in
+            if c >= 0 && c < cols && r >= 0 && r < rows then begin
+              incr ring_steps;
+              let t = tile_index c r in
+              if Occupancy.query occ.(t) w.item then found := t
+            end;
+            incr k
           done;
-          match List.find_opt (fun t -> fits_tile t w) (List.rev !candidates) with
-          | Some t -> Some t
-          | None -> ring (d + 1)
+          if !found >= 0 then Some !found else ring (d + 1)
         end
       in
-      let dest = if fits_tile home w then Some home else ring 1 in
+      let dest =
+        if Occupancy.query occ.(home) w.item then Some home else ring 1
+      in
       match dest with
       | Some t ->
-          tile_items.(t) <- w :: tile_items.(t);
+          if not (Occupancy.add occ.(t) w.item) then assert false;
           assignment.(w.node) <- t
       | None -> incr unplaced
     in
     (* Critical items first so they keep their preferred tiles. *)
     let ordered =
-      List.sort (fun a b -> Float.compare b.crit a.crit) items
+      List.stable_sort
+        (fun a b -> Float.compare ws.(b).crit ws.(a).crit)
+        (List.init nws Fun.id)
     in
     List.iter place_or_spill ordered;
     if !unplaced > 0 then Error !unplaced
     else begin
       let displacement =
-        List.fold_left
+        Array.fold_left
           (fun acc w ->
             let t = assignment.(w.node) in
             let cx = (float_of_int (t mod cols) +. 0.5) *. tile_w in
             let cy = (float_of_int (t / cols) +. 0.5) *. tile_h in
             acc +. Float.hypot (cx -. w.ix) (cy -. w.iy))
-          0.0 items
+          0.0 ws
       in
       let mean_displacement_tiles =
         displacement
-        /. (Float.hypot tile_w tile_h *. float_of_int (max 1 (List.length items)))
+        /. (Float.hypot tile_w tile_h *. float_of_int (max 1 nws))
       in
       let used =
         Array.fold_left
-          (fun acc l -> if l = [] then acc else acc + 1)
-          0 tile_items
+          (fun acc o -> if Occupancy.is_empty o then acc else acc + 1)
+          0 occ
       in
       Ok
         {
@@ -350,7 +440,14 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
           try_dims (dims + max 1 (dims / 8)) (guard - 1) (dims :: tried)
             unplaced
   in
-  try_dims start_dims 12 [] 0
+  let result = try_dims start_dims 12 [] 0 in
+  Vpga_obs.Trace.emit "pack.fits_calls"
+    (float_of_int (Occupancy.fits_calls cache));
+  Vpga_obs.Trace.emit "pack.fits_cache_hits"
+    (float_of_int (Occupancy.cache_hits cache));
+  Vpga_obs.Trace.emit "pack.spill_ring_steps" (float_of_int !ring_steps);
+  Vpga_obs.Trace.emit "pack.drain_moves" (float_of_int !drain_moves);
+  result
 
 let legalize ?utilization ?criticality arch pl =
   match legalize_result ?utilization ?criticality arch pl with

@@ -1,5 +1,6 @@
 module Netlist = Vpga_netlist.Netlist
 module Packer = Vpga_plb.Packer
+module Occupancy = Vpga_plb.Occupancy
 module Placement = Vpga_place.Placement
 
 type stats = { moves : int; accepted : int; initial_cost : float; final_cost : float }
@@ -23,13 +24,50 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
     { moves = 0; accepted = 0; initial_cost = 0.0; final_cost = 0.0 }
   else begin
     let cols = q.Quadrisect.cols and rows = q.Quadrisect.rows in
-    let members = Array.make (cols * rows) [] in
+    let n_tiles = cols * rows in
+    (* Tile membership: per-tile dynamic arrays storing ids in reverse
+       list order (array slot [count - 1 - k] is what [List.nth _ k] of
+       the former list representation returned), so the swap-candidate
+       draw below consumes the RNG identically.  Prepend is an append;
+       removal shifts the (at most [output_pins]-long) tail, preserving
+       order. *)
+    let mem = Array.make n_tiles [||] in
+    let mem_n = Array.make n_tiles 0 in
+    let push t id =
+      let a = mem.(t) in
+      let c = mem_n.(t) in
+      if c = Array.length a then begin
+        let a' = Array.make (max 4 (2 * c)) (-1) in
+        Array.blit a 0 a' 0 c;
+        mem.(t) <- a'
+      end;
+      mem.(t).(c) <- id;
+      mem_n.(t) <- c + 1
+    in
+    let drop t id =
+      let a = mem.(t) and c = mem_n.(t) in
+      let k = ref 0 in
+      while a.(!k) <> id do
+        incr k
+      done;
+      Array.blit a (!k + 1) a !k (c - !k - 1);
+      mem_n.(t) <- c - 1
+    in
+    Array.iter
+      (fun id -> push q.Quadrisect.tile_of_node.(id) id)
+      packed;
+    (* Incremental occupancy per tile, replacing per-probe [Packer.fits]
+       recomputation; one shared fits memo for the whole refinement. *)
+    let cache = Occupancy.create_cache q.Quadrisect.arch in
+    let occ = Array.init n_tiles (fun _ -> Occupancy.create cache) in
     Array.iter
       (fun id ->
-        let t = q.Quadrisect.tile_of_node.(id) in
-        members.(t) <- id :: members.(t))
+        match item_of.(id) with
+        | Some it ->
+            if not (Occupancy.add occ.(q.Quadrisect.tile_of_node.(id)) it)
+            then invalid_arg "Refine.run: initial packing is infeasible"
+        | None -> assert false)
       packed;
-    let items_of tile = List.filter_map (fun id -> item_of.(id)) members.(tile) in
     (* Net bookkeeping (criticality-weighted HPWL), as in the annealer. *)
     let nets = Placement.nets_with_io pl in
     let crit id = match criticality with None -> 0.0 | Some c -> c.(id) in
@@ -56,25 +94,45 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
     in
     let total = ref (Array.fold_left ( +. ) 0.0 net_cost) in
     let initial_cost = !total in
+    (* [delta_of] stashes each touched net's recomputed cost so an
+       accepting [commit] reuses it instead of re-walking the net. *)
+    let new_cost = Array.make (max 1 (Array.length nets)) 0.0 in
     let delta_of touched =
       List.fold_left
         (fun acc e ->
-          acc +. ((weight.(e) *. Placement.net_hpwl pl nets.(e)) -. net_cost.(e)))
+          let c = weight.(e) *. Placement.net_hpwl pl nets.(e) in
+          new_cost.(e) <- c;
+          acc +. (c -. net_cost.(e)))
         0.0 touched
     in
     let commit touched =
-      List.iter
-        (fun e -> net_cost.(e) <- weight.(e) *. Placement.net_hpwl pl nets.(e))
-        touched
+      List.iter (fun e -> net_cost.(e) <- new_cost.(e)) touched
     in
+    (* Stamp-array dedup of the nets incident to the moved ids; the small
+       deduped list is then sorted so [delta_of] folds in the same
+       (ascending-net) order as the former [List.sort_uniq]. *)
+    let stamp = Array.make (max 1 (Array.length nets)) (-1) in
+    let epoch = ref 0 in
     let touched_of ids =
-      List.sort_uniq compare
-        (List.concat_map (fun id -> Array.to_list incident.(id)) ids)
+      incr epoch;
+      let e = !epoch in
+      let acc = ref [] in
+      List.iter
+        (fun id ->
+          Array.iter
+            (fun net ->
+              if stamp.(net) <> e then begin
+                stamp.(net) <- e;
+                acc := net :: !acc
+              end)
+            incident.(id))
+        ids;
+      List.sort Int.compare !acc
     in
     let set_tile id tile =
       let old = q.Quadrisect.tile_of_node.(id) in
-      members.(old) <- List.filter (fun u -> u <> id) members.(old);
-      members.(tile) <- id :: members.(tile);
+      drop old id;
+      push tile id;
       q.Quadrisect.tile_of_node.(id) <- tile;
       let x, y = Quadrisect.tile_center q tile in
       pl.Placement.x.(id) <- x;
@@ -104,40 +162,38 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
         (* Try a plain move; if the destination is full, try swapping with a
            random resident. *)
         let try_swap_with =
-          if Packer.fits q.Quadrisect.arch (item :: items_of dest) then None
+          if Occupancy.query occ.(dest) item then None
+          else if mem_n.(dest) = 0 then Some (-1) (* nothing to swap; give up *)
           else
-            match members.(dest) with
-            | [] -> Some (-1) (* nothing to swap; give up *)
-            | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+            Some mem.(dest).(mem_n.(dest) - 1 - Random.State.int rng mem_n.(dest))
         in
         let apply () =
           match try_swap_with with
           | None ->
+              Occupancy.remove occ.(cur) item;
+              if not (Occupancy.add occ.(dest) item) then assert false;
               set_tile id dest;
               Some [ id ]
           | Some other when other >= 0 ->
               let other_item =
                 match item_of.(other) with Some i -> i | None -> assert false
               in
-              let dest_without =
-                List.filter_map
-                  (fun u -> if u = other then None else item_of.(u))
-                  members.(dest)
-              in
-              let cur_without =
-                List.filter_map
-                  (fun u -> if u = id then None else item_of.(u))
-                  members.(cur)
-              in
-              if
-                Packer.fits q.Quadrisect.arch (item :: dest_without)
-                && Packer.fits q.Quadrisect.arch (other_item :: cur_without)
-              then begin
+              Occupancy.remove occ.(dest) other_item;
+              let fwd = Occupancy.query occ.(dest) item in
+              Occupancy.remove occ.(cur) item;
+              let bwd = Occupancy.query occ.(cur) other_item in
+              if fwd && bwd then begin
+                if not (Occupancy.add occ.(dest) item) then assert false;
+                if not (Occupancy.add occ.(cur) other_item) then assert false;
                 set_tile id dest;
                 set_tile other cur;
                 Some [ id; other ]
               end
-              else None
+              else begin
+                if not (Occupancy.add occ.(cur) item) then assert false;
+                if not (Occupancy.add occ.(dest) other_item) then assert false;
+                None
+              end
           | Some _ -> None
         in
         match apply () with
@@ -155,10 +211,20 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
               incr accepted
             end
             else begin
-              (* undo *)
+              (* undo, occupancy included *)
               match moved with
-              | [ only ] -> set_tile only cur
+              | [ only ] ->
+                  Occupancy.remove occ.(dest) item;
+                  if not (Occupancy.add occ.(cur) item) then assert false;
+                  set_tile only cur
               | [ a; b ] ->
+                  let ib =
+                    match item_of.(b) with Some i -> i | None -> assert false
+                  in
+                  Occupancy.remove occ.(dest) item;
+                  Occupancy.remove occ.(cur) ib;
+                  if not (Occupancy.add occ.(cur) item) then assert false;
+                  if not (Occupancy.add occ.(dest) ib) then assert false;
                   set_tile a cur;
                   set_tile b dest
               | _ -> assert false
@@ -166,5 +232,9 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
       end;
       temp := !temp *. alpha
     done;
+    Vpga_obs.Trace.emit "pack.fits_calls"
+      (float_of_int (Occupancy.fits_calls cache));
+    Vpga_obs.Trace.emit "pack.fits_cache_hits"
+      (float_of_int (Occupancy.cache_hits cache));
     { moves = iterations; accepted = !accepted; initial_cost; final_cost = !total }
   end

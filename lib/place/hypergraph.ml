@@ -34,7 +34,7 @@ let build nl =
                (fun s -> if vertex_of_node.(s) >= 0 then Some vertex_of_node.(s) else None)
                (Array.to_list sinks)
         in
-        let members = List.sort_uniq compare members in
+        let members = List.sort_uniq Int.compare members in
         if List.length members >= 2 then nets := Array.of_list members :: !nets
       end)
     fanout;

@@ -23,6 +23,11 @@ module Vector : sig
   val of_list : (resource * int) list -> t
   val get : t -> resource -> int
   val add : t -> t -> t
+
+  val sub : t -> t -> t
+  (** componentwise difference (may go negative; callers subtract only
+      committed vectors they previously added) *)
+
   val fits : t -> cap:t -> bool
   (** componentwise [<=] *)
 

@@ -1,0 +1,61 @@
+(** Mutable per-tile occupancy: the packer's hot-path replacement for
+    recompute-from-scratch {!Packer.fits} queries.
+
+    A tile tracks the committed resource vector (one demand alternative per
+    resident item), the pin/output/flop counters, and a config-multiset
+    signature.  A feasibility query then runs in three tiers:
+
+    + the counter checks of {!Packer.fits}, O(1);
+    + an O(alternatives) probe of the candidate's demand alternatives
+      against the committed residual capacity (sound accept: the committed
+      assignment plus the new alternative is a witness), after a sound
+      reject on a slot-count lower bound;
+    + full reference backtracking, memoized in a {!cache} keyed by the
+      tile's config-multiset signature — repeated queries on identical
+      contents hit the memo instead of re-running the search.
+
+    Queries agree exactly with [Packer.fits arch (item :: items t)], which
+    keeps legalization results bit-identical to the recompute-from-scratch
+    packer (asserted by the randomized agreement test in [test_pack.ml]). *)
+
+type cache
+(** The fits memo plus query statistics, shared by every tile of one
+    packing run.  Single-domain use only (one flow task = one domain). *)
+
+val create_cache : Arch.t -> cache
+val cache_arch : cache -> Arch.t
+
+val fits_calls : cache -> int
+(** Total {!query} calls served through this cache. *)
+
+val cache_hits : cache -> int
+(** Queries answered from the config-multiset memo (tier 3 hits). *)
+
+type t
+(** One tile's occupancy.  Mutable; not thread-safe. *)
+
+val create : cache -> t
+val arch : t -> Arch.t
+
+val count : t -> int
+(** Resident items. *)
+
+val is_empty : t -> bool
+
+val items : t -> Packer.item list
+(** Newest-first; a multiset — order carries no meaning. *)
+
+val query : t -> Packer.item -> bool
+(** [query t it] iff [Packer.fits (arch t) (it :: items t)].  Read-only
+    apart from cache statistics. *)
+
+val add : t -> Packer.item -> bool
+(** Commit [it] if it fits (same predicate as {!query}); returns whether
+    it was added.  May recommit residents to different demand
+    alternatives when the backtracking tier finds the only witness. *)
+
+val remove : t -> Packer.item -> unit
+(** Remove one resident equal to [it] (config, pins, flop).  The
+    remaining committed assignment stays valid, so a subsequent
+    [add t it] is guaranteed to succeed (undo).
+    @raise Invalid_argument when no such resident exists. *)

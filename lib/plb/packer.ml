@@ -38,7 +38,7 @@ let weight it =
 
 let pack arch items =
   let sorted =
-    List.stable_sort (fun a b -> compare (weight b) (weight a)) items
+    List.stable_sort (fun a b -> Int.compare (weight b) (weight a)) items
   in
   let rec insert it = function
     | [] -> [ [ it ] ]

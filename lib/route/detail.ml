@@ -100,7 +100,7 @@ let assign grid routes =
                   rest;
                 pairs rest
           in
-          pairs (List.sort_uniq compare es))
+          pairs (List.sort_uniq Int.compare es))
         by_bin;
       net_vias.(net) <- !vias)
     routes;

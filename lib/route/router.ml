@@ -18,7 +18,7 @@ module Pq = Set.Make (struct
 end)
 
 let route_net grid ~pres_fac ~pins =
-  match List.sort_uniq compare pins with
+  match List.sort_uniq Int.compare pins with
   | [] -> invalid_arg "Router.route_net: no pins"
   | [ _ ] -> Some []
   | first :: rest ->

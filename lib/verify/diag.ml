@@ -41,7 +41,7 @@ let sort ds =
   let rank d =
     match d.severity with Error -> 0 | Warning -> 1 | Info -> 2
   in
-  List.stable_sort (fun a b -> compare (rank a) (rank b)) ds
+  List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) ds
 
 let to_string d =
   let nodes =

@@ -195,7 +195,7 @@ let check_routing (r : Pathfinder.result) (pl : Placement.t) =
         Array.to_list rt.Router.net
         |> List.map (fun id ->
                Grid.bin_of grid ~x:pl.Placement.x.(id) ~y:pl.Placement.y.(id))
-        |> List.sort_uniq compare
+        |> List.sort_uniq Int.compare
       in
       List.iter
         (fun e ->
