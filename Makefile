@@ -12,6 +12,8 @@
 #   make perfdiff   re-run just the kernels and diff against the committed
 #                   BENCH_sweep.json; exits nonzero past TOLERANCE
 #                   (fractional, default 0.25)
+#   make check      the full pre-merge gate: build, test suite, then the
+#                   kernel perf regression diff at 25% tolerance
 #   make trace      run one traced flow (alu / granular) and write
 #                   trace.json -- open it at https://ui.perfetto.dev or
 #                   summarize with `dune exec bin/vpga.exe -- report trace.json`
@@ -19,7 +21,7 @@
 JOBS ?=
 TOLERANCE ?=
 
-.PHONY: all build test verify faults obs bench perfdiff trace clean
+.PHONY: all build test verify faults obs bench perfdiff check trace clean
 
 all: build test
 
@@ -47,6 +49,11 @@ bench:
 
 perfdiff:
 	dune exec bench/main.exe -- -perfdiff $(if $(TOLERANCE),-tolerance $(TOLERANCE),)
+
+check:
+	dune build
+	dune build @runtest
+	$(MAKE) perfdiff TOLERANCE=0.25
 
 clean:
 	dune clean

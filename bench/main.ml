@@ -116,24 +116,26 @@ let fixture_placed =
      Global_place.place ~seed:3 pl;
      pl)
 
-(* A legalized, snapped packing for the refinement kernel (its own
-   placement so refinement moves never disturb the shared fixture). *)
-let fixture_packed =
-  lazy
-    (let nl = Buffering.insert ~max_fanout:8 (Lazy.force fixture_compacted) in
-     let pl = Placement.create nl in
-     Global_place.place ~seed:3 pl;
-     let q = Quadrisect.legalize Arch.granular_plb pl in
-     let side = sqrt Arch.granular_plb.Arch.tile_area in
-     let pl_b =
-       {
-         pl with
-         Placement.die_w = float_of_int q.Quadrisect.cols *. side;
-         die_h = float_of_int q.Quadrisect.rows *. side;
-       }
-     in
-     Quadrisect.snap q pl_b;
-     (q, pl_b))
+(* A legalized, snapped packing for the refinement kernels (each kernel
+   gets its own so refinement moves never disturb a shared fixture). *)
+let make_packed () =
+  let nl = Buffering.insert ~max_fanout:8 (Lazy.force fixture_compacted) in
+  let pl = Placement.create nl in
+  Global_place.place ~seed:3 pl;
+  let q = Quadrisect.legalize Arch.granular_plb pl in
+  let side = sqrt Arch.granular_plb.Arch.tile_area in
+  let pl_b =
+    {
+      pl with
+      Placement.die_w = float_of_int q.Quadrisect.cols *. side;
+      die_h = float_of_int q.Quadrisect.rows *. side;
+    }
+  in
+  Quadrisect.snap q pl_b;
+  (q, pl_b)
+
+let fixture_packed = lazy (make_packed ())
+let fixture_packed_regions = lazy (make_packed ())
 
 let bench_tests =
   [
@@ -168,6 +170,13 @@ let bench_tests =
       (Staged.stage (fun () ->
            let q, pl_b = Lazy.force fixture_packed in
            ignore (Refine.run ~iterations:20_000 ~seed:7 q pl_b)));
+    (* The region-decomposed variant: 2x2 grid plus boundary pass, the
+       flow's configuration on larger arrays. *)
+    Test.make ~name:"e6_refine_regions"
+      (Staged.stage (fun () ->
+           let q, pl_b = Lazy.force fixture_packed_regions in
+           ignore
+             (Refine.run ~iterations:20_000 ~regions:2 ~seed:7 q pl_b)));
     (* E7 kernels: routing and timing behind Table 2 *)
     Test.make ~name:"e7_pathfinder_route"
       (Staged.stage (fun () ->

@@ -148,7 +148,7 @@ let trace_arg =
            summarize with $(b,vpga report)).")
 
 let flow_cmd =
-  let run paper seed design arch_name verify policy trace_file =
+  let run paper seed design arch_name verify policy trace_file jobs =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
     let trace =
@@ -156,7 +156,7 @@ let flow_cmd =
       | Some _ -> Trace.create ~label:(design ^ "/" ^ arch_name) ()
       | None -> Trace.null
     in
-    let pair = run_flow ~seed ~verify ~policy ~trace arch nl in
+    let pair = run_flow ~seed ~verify ~policy ~trace ~jobs arch nl in
     let show (o : Flow.outcome) =
       Format.printf
         "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
@@ -181,7 +181,7 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
     Term.(
       const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg
-      $ policy_arg $ trace_arg)
+      $ policy_arg $ trace_arg $ jobs_arg)
 
 let sweep_cmd =
   let verbose_flag =

@@ -60,8 +60,8 @@ module Inject = Vpga_resil.Inject
 
 let classify_functions () = S3.census ()
 
-let run_flow ?seed ?period ?verify ?policy ?trace arch nl =
-  Flow.run ?seed ?period ?verify ?policy ?trace arch nl
+let run_flow ?seed ?period ?verify ?policy ?trace ?jobs arch nl =
+  Flow.run ?seed ?period ?verify ?policy ?trace ?jobs arch nl
 
 let compare_architectures ?seed ?period ?verify nl =
   ( Flow.run ?seed ?period ?verify Arch.lut_plb nl,

@@ -82,12 +82,14 @@ val classify_functions : unit -> S3.census
 
 val run_flow :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> ?policy:Policy.t ->
-  ?trace:Trace.t -> Arch.t -> Netlist.t -> Flow.pair
+  ?trace:Trace.t -> ?jobs:int -> Arch.t -> Netlist.t -> Flow.pair
 (** Both flows (ASIC-style a, packed-array b) on one architecture.
     [verify] selects the verification level (default {!Flow.Fast});
     [policy] the retry-with-escalation policy (default
     {!Policy.default}); [trace] (default disabled) records stage spans
-    and inner-loop counters — see {!Obs}. *)
+    and inner-loop counters — see {!Obs}; [jobs] (default 1) caps the
+    worker domains for region-parallel refinement — results are
+    identical for any value. *)
 
 val compare_architectures :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> Netlist.t ->

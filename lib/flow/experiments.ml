@@ -80,8 +80,12 @@ let run_tasks_with_stats ?(seed = 1) ?jobs ?verify ?policy ?(traced = false)
         let result =
           try
             Ok
+              (* [trace_labels:false]: sweep traces exist for stage
+                 timings (the BENCH_sweep.json record), which must
+                 reflect the production flow — observational FlowMap
+                 labeling would dominate [compact] at paper scale. *)
               (Flow.run ~seed:(task_seed ~seed name arch) ?verify ?policy
-                 ~log ~trace arch nl)
+                 ~log ~trace ~trace_labels:false arch nl)
           with
           | Vpga_resil.Fail.Stage_failure f -> Error f
           | e ->

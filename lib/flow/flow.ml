@@ -67,8 +67,8 @@ let check_structure ~stage nl =
 
 let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     ?anneal_iterations ?(refine = true) ?(use_criticality = true)
-    ?(verify = Fast) ?(policy = Policy.default) ?log
-    ?(trace = Trace.null) arch nl =
+    ?(jobs = 1) ?(verify = Fast) ?(policy = Policy.default) ?log
+    ?(trace = Trace.null) ?(trace_labels = true) arch nl =
   let design = Netlist.design_name nl in
   let log = match log with Some l -> l | None -> Log.create () in
   (* Every stage boundary opens a span on [trace]; [Trace.with_span] also
@@ -206,7 +206,17 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
       equiv "verify:techmap" mapped);
   let compacted, compaction_gain =
     span "compact" (fun () ->
-        let compacted = Compact.run arch nl in
+        (* Traced runs go through [run_traced]: same cover at the same pass
+           count, but the incremental FlowMap labeler runs alongside, so
+           [flowmap.*] counters land in the trace.  From-scratch labeling is
+           far costlier than the compaction DP on large inputs, so callers
+           that trace for stage {e timings} (the bench sweep) opt out via
+           [trace_labels:false]. *)
+        let compacted =
+          if trace_labels && Trace.enabled trace then
+            fst (Compact.run_traced arch nl)
+          else Compact.run arch nl
+        in
         let before = Techmap.cell_area mapped in
         let gain =
           if before <= 0.0 then 0.0
@@ -455,10 +465,23 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
      assignments under the criticality-weighted wirelength cost. *)
   if refine then
     span "pack:refine" (fun () ->
-        ignore
-          (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
-             ~iterations:(min 400_000 (60 * Netlist.size buffered))
-             q pl_b));
+        (* Region grid: a fixed function of the array dims (never of
+           [jobs], which only bounds worker domains), so refinement is
+           reproducible at any parallelism.  Small arrays stay on the
+           single-region reference walk. *)
+        let regions =
+          if min q.Quadrisect.cols q.Quadrisect.rows >= 12 then 2 else 1
+        in
+        try
+          ignore
+            (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
+               ~iterations:(min 400_000 (60 * Netlist.size buffered))
+               ~jobs ~regions q pl_b)
+        with Vpga_pack.Refine.Infeasible msg ->
+          Fail.raise_
+            (Fail.make ~stage:"pack:refine" ~design ~attempts:1
+               ~diags:[ Diag.error "pack-infeasible" "%s" msg ]
+               ~events:(Log.strings log) ()));
   phys "verify:placement(b)" (fun () -> Phys.check_placement pl_b);
   let routed_b, vias_b = span "route:b" (fun () -> route_stage "b" pl_b) in
   phys "verify:routing(b)" (fun () -> Phys.check_routing routed_b pl_b);

@@ -59,10 +59,12 @@ val run :
   ?anneal_iterations:int ->
   ?refine:bool ->
   ?use_criticality:bool ->
+  ?jobs:int ->
   ?verify:verify ->
   ?policy:Vpga_resil.Policy.t ->
   ?log:Vpga_resil.Log.t ->
   ?trace:Vpga_obs.Trace.t ->
+  ?trace_labels:bool ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -72,7 +74,10 @@ val run :
     deterministically.  [refine] (true) enables the packing <->
     physical-synthesis iteration; [use_criticality] (true) enables
     timing-criticality weighting in placement and packing — both exist for
-    the ablation benches.  [verify] (default {!Fast}) selects the
+    the ablation benches.  [jobs] (default 1) bounds the worker domains
+    the region-parallel refinement may use; the region grid itself is a
+    fixed function of the PLB array dims, so results are identical at
+    every [jobs] setting.  [verify] (default {!Fast}) selects the
     verification level; see {!type-verify}.
 
     [policy] (default {!Vpga_resil.Policy.default}) controls what happens
@@ -95,7 +100,13 @@ val run :
     events on the same monotonic timeline.  Export with
     {!Vpga_obs.Export}.  A [null] trace reduces every probe to a single
     branch, so the instrumented flow's cost is unchanged when tracing is
-    off.
+    off.  [trace_labels] (default true) makes a {e traced} run compact
+    through {!Vpga_mapper.Compact.run_traced} — the identical cover, with
+    the incremental FlowMap labeler running alongside so the
+    [flowmap.maxflow_calls] / [flowmap.labels_reused] counters land in
+    the trace; pass [false] when the trace is collected for stage timings
+    (from-scratch labeling can dwarf the compaction DP on large
+    designs).
 
     @raise Vpga_resil.Fail.Stage_failure when an enabled verification
     check finds a violation or a stage exhausts its retry policy; the

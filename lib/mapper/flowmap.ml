@@ -1,85 +1,189 @@
 module Aig = Vpga_aig.Aig
 module Maxflow = Vpga_maxflow.Maxflow
 
-(* Transitive fanin cone of [t] (node ids, including [t], PIs and const). *)
-let cone aig t =
-  let seen = Hashtbl.create 64 in
-  let rec visit id =
-    if not (Hashtbl.mem seen id) then begin
-      Hashtbl.add seen id ();
-      if (not (Aig.is_pi aig id)) && not (Aig.is_const id) then begin
-        let l0, l1 = Aig.fanins aig id in
-        visit (Aig.node_of l0);
-        visit (Aig.node_of l1)
-      end
+(* Labeling arena: epoch-stamped cone membership / flow-network indexing
+   scratch plus one Dinic network, all sized once per AIG and reused for
+   every per-node cut decision instead of allocating a fresh [Hashtbl]
+   and network per node. *)
+type arena = {
+  aig : Aig.t;
+  k : int;
+  stamp : int array; (* cone membership, valid when equal to [epoch] *)
+  index : int array; (* flow-network index of a non-collapsed cone node *)
+  order : int array; (* cone members in discovery order *)
+  mutable n_cone : int;
+  mutable epoch : int;
+  net : Maxflow.t;
+  mutable maxflow_calls : int;
+}
+
+let arena aig ~k =
+  let n = Aig.size aig in
+  {
+    aig;
+    k;
+    stamp = Array.make (max 1 n) 0;
+    index = Array.make (max 1 n) (-1);
+    order = Array.make (max 1 n) 0;
+    n_cone = 0;
+    epoch = 0;
+    net = Maxflow.create 2;
+    maxflow_calls = 0;
+  }
+
+(* Transitive fanin cone of [t] (including [t], PIs and const) into
+   [a.order.(0 .. a.n_cone - 1)]. *)
+let rec collect a id =
+  if a.stamp.(id) <> a.epoch then begin
+    a.stamp.(id) <- a.epoch;
+    a.order.(a.n_cone) <- id;
+    a.n_cone <- a.n_cone + 1;
+    if (not (Aig.is_pi a.aig id)) && not (Aig.is_const id) then begin
+      let l0, l1 = Aig.fanins a.aig id in
+      collect a (Aig.node_of l0);
+      collect a (Aig.node_of l1)
     end
-  in
-  visit t;
-  seen
+  end
 
 (* Does node [t] admit a k-feasible cut all of whose leaves have labels < p,
    where p is the max fanin label?  Decided by max-flow on the node-split
    cone with label-p nodes collapsed into the sink. *)
-let min_height_cut_exists aig ~k t labels =
+let decide a t labels =
+  let aig = a.aig in
   let l0, l1 = Aig.fanins aig t in
   let p = max labels.(Aig.node_of l0) labels.(Aig.node_of l1) in
-  let members = cone aig t in
-  let collapsed id = id = t || labels.(id) = p in
-  (* Assign flow-network indices to non-collapsed cone nodes. *)
-  let index = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun id () ->
-      if not (collapsed id) then Hashtbl.add index id (Hashtbl.length index))
-    members;
-  let n_split = Hashtbl.length index in
-  let source = 0 and sink = 1 in
-  let v_in id = 2 + (2 * Hashtbl.find index id) in
-  let v_out id = 3 + (2 * Hashtbl.find index id) in
-  let net = Maxflow.create (2 + (2 * n_split)) in
-  let inf = Maxflow.infinity in
-  (* Node capacities. *)
-  Hashtbl.iter
-    (fun id () ->
-      if not (collapsed id) then
-        Maxflow.add_edge net ~src:(v_in id) ~dst:(v_out id) ~cap:1)
-    members;
-  let infeasible = ref false in
-  (* Source feeds the cone's own sources (PIs / const). *)
-  Hashtbl.iter
-    (fun id () ->
-      if Aig.is_pi aig id || Aig.is_const id then
-        if collapsed id then infeasible := true
-        else Maxflow.add_edge net ~src:source ~dst:(v_in id) ~cap:inf)
-    members;
-  (* Internal edges. *)
-  Hashtbl.iter
-    (fun id () ->
-      if (not (Aig.is_pi aig id)) && not (Aig.is_const id) then begin
+  if p = 0 then
+    (* Every source of the cone carries label 0 = p and would be collapsed
+       into the sink, making it inseparable from the source: no cut of
+       height p - 1 exists.  (This is the common case for nodes directly
+       above the PIs; skipping the flow solve preserves the result.) *)
+    false
+  else begin
+    a.epoch <- a.epoch + 1;
+    a.n_cone <- 0;
+    collect a t;
+    let collapsed id = id = t || labels.(id) = p in
+    (* Assign flow-network indices to non-collapsed cone nodes. *)
+    let n_split = ref 0 in
+    for i = 0 to a.n_cone - 1 do
+      let id = a.order.(i) in
+      if collapsed id then a.index.(id) <- -1
+      else begin
+        a.index.(id) <- !n_split;
+        incr n_split
+      end
+    done;
+    let source = 0 and sink = 1 in
+    let v_in id = 2 + (2 * a.index.(id)) in
+    let v_out id = 3 + (2 * a.index.(id)) in
+    let net = a.net in
+    Maxflow.reset net (2 + (2 * !n_split));
+    let inf = Maxflow.infinity in
+    let infeasible = ref false in
+    for i = 0 to a.n_cone - 1 do
+      let id = a.order.(i) in
+      let c = collapsed id in
+      (* Node capacity. *)
+      if not c then Maxflow.add_edge net ~src:(v_in id) ~dst:(v_out id) ~cap:1;
+      if Aig.is_pi aig id || Aig.is_const id then begin
+        (* Source feeds the cone's own sources (PIs / const). *)
+        if c then infeasible := true
+        else Maxflow.add_edge net ~src:source ~dst:(v_in id) ~cap:inf
+      end
+      else begin
+        (* Internal edges. *)
         let f0, f1 = Aig.fanins aig id in
         let connect src_id =
           if not (collapsed src_id) then
             Maxflow.add_edge net ~src:(v_out src_id)
-              ~dst:(if collapsed id then sink else v_in id)
+              ~dst:(if c then sink else v_in id)
               ~cap:inf
         in
         connect (Aig.node_of f0);
         connect (Aig.node_of f1)
-      end)
-    members;
-  if !infeasible then false
-  else Maxflow.max_flow net ~source ~sink <= k
+      end
+    done;
+    if !infeasible then false
+    else begin
+      a.maxflow_calls <- a.maxflow_calls + 1;
+      Maxflow.max_flow ~limit:a.k net ~source ~sink <= a.k
+    end
+  end
+
+let min_height_cut_exists aig ~k t labels = decide (arena aig ~k) t labels
+
+let label_node a labels id =
+  let l0, l1 = Aig.fanins a.aig id in
+  let p = max labels.(Aig.node_of l0) labels.(Aig.node_of l1) in
+  if decide a id labels then p else p + 1
+
+let labels_into a labels =
+  let n = Aig.size a.aig in
+  for id = 1 to n - 1 do
+    if not (Aig.is_pi a.aig id) then labels.(id) <- label_node a labels id
+  done
 
 let labels aig ~k =
-  let n = Aig.size aig in
-  let labels = Array.make n 0 in
-  for id = 1 to n - 1 do
-    if not (Aig.is_pi aig id) then begin
-      let l0, l1 = Aig.fanins aig id in
-      let p = max labels.(Aig.node_of l0) labels.(Aig.node_of l1) in
-      labels.(id) <-
-        (if min_height_cut_exists aig ~k id labels then p else p + 1)
-    end
-  done;
+  let a = arena aig ~k in
+  let labels = Array.make (Aig.size aig) 0 in
+  labels_into a labels;
+  Vpga_obs.Trace.emit "flowmap.maxflow_calls" (float_of_int a.maxflow_calls);
   labels
 
 let depth aig ~k = Array.fold_left max 0 (labels aig ~k)
+
+module Incremental = struct
+  type t = {
+    arena : arena;
+    labels : int array;
+    affected : bool array; (* scratch, valid only during [relabel] *)
+  }
+
+  let create aig ~k =
+    let a = arena aig ~k in
+    let labels = Array.make (Aig.size aig) 0 in
+    labels_into a labels;
+    Vpga_obs.Trace.emit "flowmap.maxflow_calls" (float_of_int a.maxflow_calls);
+    { arena = a; labels; affected = Array.make (max 1 (Aig.size aig)) false }
+
+  let labels t = t.labels
+
+  (* Invalidation rule: a node's max-flow decision depends on the labels of
+     its whole fanin cone, and cone(t) = {t} ∪ cone(fanin0) ∪ cone(fanin1),
+     so [affected t = dirty t || affected fanin0 || affected fanin1]
+     (computed in ascending = topological id order) over-approximates "some
+     node of cone(t) is dirty".  Unaffected nodes keep their label: their
+     cone is untouched, so the collapsed set and the flow network — hence
+     the decision — are unchanged.  The flag deliberately stays set even
+     when recomputation confirms the old label: downstream cones contain
+     this node's *ancestors* too, and one of those may still differ. *)
+  let relabel t ~dirty =
+    let a = t.arena in
+    let aig = a.aig in
+    let n = Aig.size aig in
+    Array.fill t.affected 0 n false;
+    List.iter
+      (fun id ->
+        if id < 0 || id >= n then invalid_arg "Flowmap.Incremental.relabel";
+        t.affected.(id) <- true)
+      dirty;
+    let calls0 = a.maxflow_calls in
+    let reused = ref 0 in
+    for id = 1 to n - 1 do
+      if not (Aig.is_pi aig id) then begin
+        let l0, l1 = Aig.fanins aig id in
+        if
+          t.affected.(id)
+          || t.affected.(Aig.node_of l0)
+          || t.affected.(Aig.node_of l1)
+        then begin
+          t.affected.(id) <- true;
+          t.labels.(id) <- label_node a t.labels id
+        end
+        else incr reused
+      end
+    done;
+    Vpga_obs.Trace.emit "flowmap.maxflow_calls"
+      (float_of_int (a.maxflow_calls - calls0));
+    Vpga_obs.Trace.emit "flowmap.labels_reused" (float_of_int !reused)
+end

@@ -1,92 +1,121 @@
 (* Dinic's algorithm with adjacency stored as a flat edge list; edge i and
-   its residual partner are (i lxor 1). *)
+   its residual partner are (i lxor 1).  Per-node adjacency is an intrusive
+   linked list over edge ids ([head]/[edges_next]), so building and solving
+   a network allocates nothing beyond the (geometrically grown) backing
+   arrays.
+
+   The structure is an arena: [reset] rewinds it to an empty network of a
+   new size without releasing those arrays, so a caller that solves many
+   small networks in a loop (FlowMap labeling solves one per AND node)
+   reuses the same storage instead of allocating per decision. *)
 
 type t = {
-  n : int;
+  mutable n : int;
   mutable edges_dst : int array;
   mutable edges_cap : int array;
+  mutable edges_next : int array; (* next edge out of the same node, -1 ends *)
   mutable edge_count : int;
-  adj : int list array; (* per-node edge indices, reversed *)
-  mutable adj_frozen : int array array option;
-  level : int array;
-  iter : int array;
+  mutable head : int array; (* first edge per node, -1 when none *)
+  mutable solved : bool;
+  mutable level : int array;
+  mutable iter : int array; (* per-node current edge during a DFS phase *)
+  mutable queue : int array; (* BFS scratch *)
 }
 
 let infinity = max_int
 
 let create n =
+  let cap = max 1 n in
   {
     n;
     edges_dst = Array.make 16 0;
     edges_cap = Array.make 16 0;
+    edges_next = Array.make 16 (-1);
     edge_count = 0;
-    adj = Array.make n [];
-    adj_frozen = None;
-    level = Array.make n (-1);
-    iter = Array.make n 0;
+    head = Array.make cap (-1);
+    solved = false;
+    level = Array.make cap (-1);
+    iter = Array.make cap (-1);
+    queue = Array.make cap 0;
   }
+
+let reset t n =
+  if n < 0 then invalid_arg "Maxflow.reset: negative node count";
+  if n > Array.length t.head then begin
+    let len = max n (2 * Array.length t.head) in
+    t.head <- Array.make len (-1);
+    t.level <- Array.make len (-1);
+    t.iter <- Array.make len (-1);
+    t.queue <- Array.make len 0
+  end
+  else Array.fill t.head 0 t.n (-1);
+  t.n <- n;
+  t.edge_count <- 0;
+  t.solved <- false
 
 let grow t =
   if t.edge_count + 2 > Array.length t.edges_dst then begin
     let len = 2 * Array.length t.edges_dst in
-    let dst = Array.make len 0 and cap = Array.make len 0 in
+    let dst = Array.make len 0
+    and cap = Array.make len 0
+    and nxt = Array.make len (-1) in
     Array.blit t.edges_dst 0 dst 0 t.edge_count;
     Array.blit t.edges_cap 0 cap 0 t.edge_count;
+    Array.blit t.edges_next 0 nxt 0 t.edge_count;
     t.edges_dst <- dst;
-    t.edges_cap <- cap
+    t.edges_cap <- cap;
+    t.edges_next <- nxt
   end
 
 let add_edge t ~src ~dst ~cap =
   if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
     invalid_arg "Maxflow.add_edge: node out of range";
   if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
-  if t.adj_frozen <> None then invalid_arg "Maxflow.add_edge: already solved";
+  if t.solved then invalid_arg "Maxflow.add_edge: already solved";
   grow t;
   let e = t.edge_count in
   t.edges_dst.(e) <- dst;
   t.edges_cap.(e) <- cap;
+  t.edges_next.(e) <- t.head.(src);
+  t.head.(src) <- e;
   t.edges_dst.(e + 1) <- src;
   t.edges_cap.(e + 1) <- 0;
-  t.adj.(src) <- e :: t.adj.(src);
-  t.adj.(dst) <- (e + 1) :: t.adj.(dst);
+  t.edges_next.(e + 1) <- t.head.(dst);
+  t.head.(dst) <- e + 1;
   t.edge_count <- t.edge_count + 2
 
-let freeze t =
-  match t.adj_frozen with
-  | Some a -> a
-  | None ->
-      let a = Array.map (fun l -> Array.of_list (List.rev l)) t.adj in
-      t.adj_frozen <- Some a;
-      a
-
-let bfs t adj ~source ~sink =
+let bfs t ~source ~sink =
   Array.fill t.level 0 t.n (-1);
-  let q = Queue.create () in
+  let q = t.queue in
+  let qh = ref 0 and qt = ref 0 in
   t.level.(source) <- 0;
-  Queue.push source q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    Array.iter
-      (fun e ->
-        let v = t.edges_dst.(e) in
-        if t.edges_cap.(e) > 0 && t.level.(v) < 0 then begin
-          t.level.(v) <- t.level.(u) + 1;
-          Queue.push v q
-        end)
-      adj.(u)
+  q.(!qt) <- source;
+  incr qt;
+  while !qh < !qt do
+    let u = q.(!qh) in
+    incr qh;
+    let e = ref t.head.(u) in
+    while !e >= 0 do
+      let v = t.edges_dst.(!e) in
+      if t.edges_cap.(!e) > 0 && t.level.(v) < 0 then begin
+        t.level.(v) <- t.level.(u) + 1;
+        q.(!qt) <- v;
+        incr qt
+      end;
+      e := t.edges_next.(!e)
+    done
   done;
   t.level.(sink) >= 0
 
-let rec dfs t adj u ~sink pushed =
+let rec dfs t u ~sink pushed =
   if u = sink then pushed
   else begin
     let res = ref 0 in
-    let a = adj.(u) in
-    while !res = 0 && t.iter.(u) < Array.length a do
-      let e = a.(t.iter.(u)) in
+    while !res = 0 && t.iter.(u) >= 0 do
+      let e = t.iter.(u) in
       let v = t.edges_dst.(e) in
       if t.edges_cap.(e) > 0 && t.level.(v) = t.level.(u) + 1 then begin
-        let d = dfs t adj v ~sink (min pushed t.edges_cap.(e)) in
+        let d = dfs t v ~sink (min pushed t.edges_cap.(e)) in
         if d > 0 then begin
           if t.edges_cap.(e) <> infinity then
             t.edges_cap.(e) <- t.edges_cap.(e) - d;
@@ -94,25 +123,27 @@ let rec dfs t adj u ~sink pushed =
             t.edges_cap.(e lxor 1) <- t.edges_cap.(e lxor 1) + d;
           res := d
         end
-        else t.iter.(u) <- t.iter.(u) + 1
+        else t.iter.(u) <- t.edges_next.(e)
       end
-      else t.iter.(u) <- t.iter.(u) + 1
+      else t.iter.(u) <- t.edges_next.(e)
     done;
     !res
   end
 
-let max_flow t ~source ~sink =
+let max_flow ?(limit = max_int) t ~source ~sink =
   if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
-  let adj = freeze t in
+  t.solved <- true;
   let flow = ref 0 in
-  while !flow <> infinity && bfs t adj ~source ~sink do
-    Array.fill t.iter 0 t.n 0;
+  while !flow <> infinity && !flow <= limit && bfs t ~source ~sink do
+    Array.blit t.head 0 t.iter 0 t.n;
     let rec pump () =
-      let f = dfs t adj source ~sink infinity in
-      if f = infinity then flow := infinity
-      else if f > 0 then begin
-        if !flow <> infinity then flow := !flow + f;
-        pump ()
+      if !flow <> infinity && !flow <= limit then begin
+        let f = dfs t source ~sink infinity in
+        if f = infinity then flow := infinity
+        else if f > 0 then begin
+          flow := !flow + f;
+          pump ()
+        end
       end
     in
     pump ()
@@ -120,20 +151,24 @@ let max_flow t ~source ~sink =
   if !flow = infinity then infinity else !flow
 
 let min_cut_side t ~source =
-  let adj = freeze t in
   let side = Array.make t.n false in
-  let q = Queue.create () in
+  let q = t.queue in
+  let qh = ref 0 and qt = ref 0 in
   side.(source) <- true;
-  Queue.push source q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    Array.iter
-      (fun e ->
-        let v = t.edges_dst.(e) in
-        if t.edges_cap.(e) > 0 && not side.(v) then begin
-          side.(v) <- true;
-          Queue.push v q
-        end)
-      adj.(u)
+  q.(!qt) <- source;
+  incr qt;
+  while !qh < !qt do
+    let u = q.(!qh) in
+    incr qh;
+    let e = ref t.head.(u) in
+    while !e >= 0 do
+      let v = t.edges_dst.(!e) in
+      if t.edges_cap.(!e) > 0 && not side.(v) then begin
+        side.(v) <- true;
+        q.(!qt) <- v;
+        incr qt
+      end;
+      e := t.edges_next.(!e)
+    done
   done;
   side

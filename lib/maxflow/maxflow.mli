@@ -2,20 +2,35 @@
 
     This is the kernel of the FlowMap-style clustering used by the paper's
     logic-compaction step: node-split unit-capacity networks whose min cut
-    answers "is there a k-feasible cut?". *)
+    answers "is there a k-feasible cut?".
+
+    A [t] is an arena: {!reset} rewinds it to an empty network of a new
+    size while keeping the backing arrays, so callers that solve one small
+    network per graph node (exact FlowMap labeling) pay no per-decision
+    allocation. *)
 
 type t
 
 val create : int -> t
 (** [create n] makes an empty flow network with nodes [0 .. n-1]. *)
 
+val reset : t -> int -> unit
+(** [reset t n] empties [t] and gives it nodes [0 .. n-1], reusing the
+    existing storage.  Any previous solution is discarded; edges may be
+    added again. *)
+
 val add_edge : t -> src:int -> dst:int -> cap:int -> unit
 (** Adds a directed edge (a reverse residual edge of capacity 0 is added
     automatically).  [cap] may be [max_int] for infinity. *)
 
-val max_flow : t -> source:int -> sink:int -> int
+val max_flow : ?limit:int -> t -> source:int -> sink:int -> int
 (** Computes the max flow; saturates at [max_int] if the sink is reachable
-    through infinite-capacity paths only.  May be called once per network. *)
+    through infinite-capacity paths only.  May be called once per network
+    (use {!reset} to solve another).  When [limit] is given the search
+    stops as soon as the flow exceeds it: the result is exact if it is
+    [<= limit] and otherwise only guaranteed to be [> limit] — the right
+    tool for feasibility questions of the form "is the min cut at most
+    k?". *)
 
 val min_cut_side : t -> source:int -> bool array
 (** After {!max_flow}: nodes reachable from the source in the residual graph

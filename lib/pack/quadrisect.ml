@@ -457,11 +457,36 @@ let legalize ?utilization ?criticality arch pl =
 let array_area t =
   float_of_int (t.cols * t.rows) *. t.arch.Arch.tile_area
 
+let tile_side t = sqrt t.arch.Arch.tile_area
+
 let tile_center t tile =
   (* Tile geometry in the PLB array's own coordinate system. *)
-  let side = sqrt t.arch.Arch.tile_area in
+  let side = tile_side t in
   ( (float_of_int (tile mod t.cols) +. 0.5) *. side,
     (float_of_int (tile / t.cols) +. 0.5) *. side )
+
+(* Region decomposition for parallel refinement: a [regions x regions]
+   grid of tile rectangles with balanced integer splits, a pure function
+   of the array dims — never of worker count — so region ownership (and
+   with it every region-local RNG stream) is identical at any [jobs]. *)
+let region_bounds ~regions t r =
+  if regions < 1 || r < 0 || r >= regions * regions then
+    invalid_arg "Quadrisect.region_bounds";
+  let gc = r mod regions and gr = r / regions in
+  ( gc * t.cols / regions,
+    gr * t.rows / regions,
+    (gc + 1) * t.cols / regions,
+    (gr + 1) * t.rows / regions )
+
+let region_of_tile ~regions t tile =
+  if regions < 1 || tile < 0 || tile >= t.cols * t.rows then
+    invalid_arg "Quadrisect.region_of_tile";
+  let c = tile mod t.cols and r = tile / t.cols in
+  (* Inverse of the balanced split: the g with [g*n/regions <= i <
+     (g+1)*n/regions] is [((i+1)*regions - 1) / n]. *)
+  let gc = (((c + 1) * regions) - 1) / t.cols in
+  let gr = (((r + 1) * regions) - 1) / t.rows in
+  (gr * regions) + gc
 
 let snap t pl =
   Array.iteri

@@ -60,7 +60,28 @@ val legalize :
 val array_area : t -> float
 (** [cols * rows * tile_area]: the flow-b die area. *)
 
+val tile_side : t -> float
+(** Side length of one (square) tile, um. *)
+
 val tile_center : t -> int -> float * float
 val snap : t -> Vpga_place.Placement.t -> unit
 (** Move every packed node's coordinates to its tile center (the geometry
     the router sees). *)
+
+(** {2 Region decomposition}
+
+    A [regions x regions] grid of tile rectangles with balanced integer
+    splits, used by {!Refine} to partition the die for region-parallel
+    annealing.  The decomposition depends only on the array dims — never
+    on worker count — so region ownership is reproducible at any
+    parallelism. *)
+
+val region_bounds : regions:int -> t -> int -> int * int * int * int
+(** [region_bounds ~regions t r] is the tile rectangle
+    [(c0, r0, c1, r1)] (half-open: columns [c0 <= c < c1], rows
+    [r0 <= r < r1]) owned by region [r] of the grid, for
+    [0 <= r < regions * regions].  Rectangles tile the array exactly;
+    some are empty when [regions] exceeds the dims. *)
+
+val region_of_tile : regions:int -> t -> int -> int
+(** The region whose rectangle contains the given tile. *)

@@ -2,13 +2,382 @@ module Netlist = Vpga_netlist.Netlist
 module Packer = Vpga_plb.Packer
 module Occupancy = Vpga_plb.Occupancy
 module Placement = Vpga_place.Placement
+module Bbox = Placement.Bbox
+module Pool = Vpga_par.Pool
 
-type stats = { moves : int; accepted : int; initial_cost : float; final_cost : float }
+type stats = {
+  moves : int;
+  accepted : int;
+  initial_cost : float;
+  final_cost : float;
+  region_moves : int;
+  boundary_moves : int;
+}
 
-let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
+exception Infeasible of string
+
+(* Nets at or below this pin count are cheaper to rescan than to track
+   with a cached bounding box (the annealer's cutoff). *)
+let small_cutoff = 4
+
+(* Immutable per-run data shared by every walk (and safe to read from
+   worker domains: nothing here is mutated once built). *)
+type shared = {
+  arch : Vpga_plb.Arch.t;
+  cols : int;
+  rows : int;
+  side : float; (* tile side, um *)
+  radius : int;
+  item_of : Packer.item option array;
+  nets : int array array;
+  weight : float array;
+  incident : int array array; (* per node: incident net ids, ascending *)
+  small : bool array;
+  n_nets : int;
+  scratch : int; (* touched-net scratch capacity: 2 * max packed degree *)
+}
+
+(* One annealing walk: a tile rectangle [c0,c1) x [r0,r1), the ids it may
+   move, and a full bookkeeping slice — membership, incremental occupancy,
+   per-net cost and bounding box — over its own coordinate/tile views.
+   Views either alias the caller's arrays (sequential walks mutate in
+   place) or are private copies (region walks, merged afterwards). *)
+type ctx = {
+  sh : shared;
+  c0 : int;
+  r0 : int;
+  c1 : int;
+  r1 : int;
+  ids : int array;
+  tile_of : int array;
+  view : Placement.t;
+  mem : int array array;
+  mem_n : int array;
+  cache : Occupancy.cache;
+  occ : Occupancy.t array;
+  net_cost : float array;
+  bbs : Bbox.b array;
+  (* per-move scratch: touched nets (ascending), moved-pin counts, which
+     mover touched them (bit 1 = first, bit 2 = second), tentative costs *)
+  touched : int array;
+  t_pins : int array;
+  t_which : int array;
+  tentative : float array;
+  mutable total : float;
+}
+
+(* Tile membership: per-tile dynamic arrays storing ids in reverse list
+   order (array slot [count - 1 - k] is what [List.nth _ k] of the
+   original list representation returned), so the swap-candidate draw
+   consumes the RNG identically.  Prepend is an append; removal shifts
+   the (at most [output_pins]-long) tail, preserving order. *)
+let push ctx t id =
+  let a = ctx.mem.(t) in
+  let c = ctx.mem_n.(t) in
+  if c = Array.length a then begin
+    let a' = Array.make (max 4 (2 * c)) (-1) in
+    Array.blit a 0 a' 0 c;
+    ctx.mem.(t) <- a'
+  end;
+  ctx.mem.(t).(c) <- id;
+  ctx.mem_n.(t) <- c + 1
+
+let drop ctx t id =
+  let a = ctx.mem.(t) and c = ctx.mem_n.(t) in
+  let k = ref 0 in
+  while a.(!k) <> id do
+    incr k
+  done;
+  Array.blit a (!k + 1) a !k (c - !k - 1);
+  ctx.mem_n.(t) <- c - 1
+
+let set_tile ctx id tile =
+  let old = ctx.tile_of.(id) in
+  drop ctx old id;
+  push ctx tile id;
+  ctx.tile_of.(id) <- tile;
+  let sh = ctx.sh in
+  ctx.view.Placement.x.(id) <-
+    (float_of_int (tile mod sh.cols) +. 0.5) *. sh.side;
+  ctx.view.Placement.y.(id) <-
+    (float_of_int (tile / sh.cols) +. 0.5) *. sh.side
+
+let make_ctx sh ~bounds:(bc0, br0, bc1, br1) ~ids ~tile_of ~view =
+  let n_tiles = sh.cols * sh.rows in
+  let cache = Occupancy.create_cache sh.arch in
+  let ctx =
+    {
+      sh;
+      c0 = bc0;
+      r0 = br0;
+      c1 = bc1;
+      r1 = br1;
+      ids;
+      tile_of;
+      view;
+      mem = Array.make n_tiles [||];
+      mem_n = Array.make n_tiles 0;
+      cache;
+      occ = Array.init n_tiles (fun _ -> Occupancy.create cache);
+      net_cost = Array.make (max 1 sh.n_nets) 0.0;
+      bbs = Array.make (max 1 sh.n_nets) Bbox.dummy;
+      touched = Array.make sh.scratch 0;
+      t_pins = Array.make sh.scratch 0;
+      t_which = Array.make sh.scratch 0;
+      tentative = Array.make sh.scratch 0.0;
+      total = 0.0;
+    }
+  in
+  Array.iter
+    (fun id ->
+      let t = tile_of.(id) in
+      push ctx t id;
+      match sh.item_of.(id) with
+      | Some it ->
+          if not (Occupancy.add ctx.occ.(t) it) then
+            raise (Infeasible "Refine.run: initial packing is infeasible")
+      | None -> assert false)
+    ids;
+  for e = 0 to sh.n_nets - 1 do
+    ctx.net_cost.(e) <-
+      (if sh.small.(e) then
+         sh.weight.(e) *. Placement.net_hpwl view sh.nets.(e)
+       else begin
+         let b = Bbox.of_net view sh.nets.(e) in
+         ctx.bbs.(e) <- b;
+         sh.weight.(e) *. Bbox.hpwl b
+       end)
+  done;
+  ctx.total <- Array.fold_left ( +. ) 0.0 ctx.net_cost;
+  ctx
+
+(* Touched nets of a single mover: its incident array is already ascending
+   in net id (nets are numbered in construction order), so the scratch is
+   filled by one sweep; a net listed twice (a node driving itself through
+   two pins of the same net) coalesces into a pin count of 2. *)
+let collect1 ctx ida =
+  let inc = ctx.sh.incident.(ida) in
+  let k = ref 0 in
+  Array.iter
+    (fun e ->
+      if !k > 0 && ctx.touched.(!k - 1) = e then
+        ctx.t_pins.(!k - 1) <- ctx.t_pins.(!k - 1) + 1
+      else begin
+        ctx.touched.(!k) <- e;
+        ctx.t_pins.(!k) <- 1;
+        ctx.t_which.(!k) <- 1;
+        incr k
+      end)
+    inc;
+  !k
+
+(* Touched nets of a swap: a two-way merge of the movers' ascending
+   incident arrays, so the result is ascending with shared nets
+   coalesced — the same order (and the same dedup) as the original
+   [List.sort_uniq] of their union. *)
+let collect2 ctx ida idb =
+  let a = ctx.sh.incident.(ida) and b = ctx.sh.incident.(idb) in
+  let na = Array.length a and nb = Array.length b in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  let push_net e which =
+    if !k > 0 && ctx.touched.(!k - 1) = e then begin
+      ctx.t_pins.(!k - 1) <- ctx.t_pins.(!k - 1) + 1;
+      ctx.t_which.(!k - 1) <- ctx.t_which.(!k - 1) lor which
+    end
+    else begin
+      ctx.touched.(!k) <- e;
+      ctx.t_pins.(!k) <- 1;
+      ctx.t_which.(!k) <- which;
+      incr k
+    end
+  in
+  while !i < na || !j < nb do
+    if !j >= nb || (!i < na && a.(!i) <= b.(!j)) then begin
+      push_net a.(!i) 1;
+      incr i
+    end
+    else begin
+      push_net b.(!j) 2;
+      incr j
+    end
+  done;
+  !k
+
+(* Delta of the current move over the touched nets, folded in ascending
+   net order exactly like the original full-recomputation loop (the float
+   sums must stay bit-identical).  Coordinates are already updated; the
+   cached pre-move bounding box plus the mover's old/new tile centers give
+   the post-move HPWL without a rescan unless the bound collapses
+   ([Bbox.Rescan]), the net is small, or more than one pin moved. *)
+let eval_delta ctx nt ~oax ~oay ~nax ~nay ~obx ~oby ~nbx ~nby =
+  let sh = ctx.sh in
+  let d = ref 0.0 in
+  for i = 0 to nt - 1 do
+    let e = ctx.touched.(i) in
+    let w =
+      if sh.small.(e) || ctx.t_pins.(i) > 1 then
+        Placement.net_hpwl ctx.view sh.nets.(e)
+      else begin
+        let b = ctx.bbs.(e) in
+        if ctx.t_which.(i) land 1 <> 0 then
+          match Bbox.shift_hpwl b ~ox:oax ~oy:oay ~nx:nax ~ny:nay with
+          | v -> v
+          | exception Bbox.Rescan -> Placement.net_hpwl ctx.view sh.nets.(e)
+        else
+          match Bbox.shift_hpwl b ~ox:obx ~oy:oby ~nx:nbx ~ny:nby with
+          | v -> v
+          | exception Bbox.Rescan -> Placement.net_hpwl ctx.view sh.nets.(e)
+      end
+    in
+    let c = sh.weight.(e) *. w in
+    ctx.tentative.(i) <- c;
+    d := !d +. (c -. ctx.net_cost.(e))
+  done;
+  !d
+
+(* Commit the move: bounding boxes shift (or rebuild on [Rescan] / multi-
+   pin nets) and the stashed tentative costs become current. *)
+let commit ctx nt ~oax ~oay ~nax ~nay ~obx ~oby ~nbx ~nby =
+  let sh = ctx.sh in
+  for i = 0 to nt - 1 do
+    let e = ctx.touched.(i) in
+    if not sh.small.(e) then begin
+      if ctx.t_pins.(i) > 1 then
+        ctx.bbs.(e) <- Bbox.of_net ctx.view sh.nets.(e)
+      else begin
+        let b = ctx.bbs.(e) in
+        if ctx.t_which.(i) land 1 <> 0 then (
+          match Bbox.shift b ~ox:oax ~oy:oay ~nx:nax ~ny:nay with
+          | () -> ()
+          | exception Bbox.Rescan ->
+              ctx.bbs.(e) <- Bbox.of_net ctx.view sh.nets.(e))
+        else
+          match Bbox.shift b ~ox:obx ~oy:oby ~nx:nbx ~ny:nby with
+          | () -> ()
+          | exception Bbox.Rescan ->
+              ctx.bbs.(e) <- Bbox.of_net ctx.view sh.nets.(e)
+      end
+    end;
+    ctx.net_cost.(e) <- ctx.tentative.(i)
+  done
+
+(* One annealing walk over [ctx]'s rectangle.  With the full-die rectangle
+   and the full packed id set this consumes the RNG and produces exactly
+   the same move/accept sequence as the original implementation. *)
+let walk ctx ~rng ~iterations =
+  let sh = ctx.sh in
+  let n_ids = Array.length ctx.ids in
+  let accepted = ref 0 in
+  if n_ids > 0 && iterations > 0 then begin
+    let t_start = max 1.0 (ctx.total /. float_of_int (max 1 sh.n_nets)) in
+    let t_end = t_start /. 1000.0 in
+    let alpha =
+      exp (log (t_end /. t_start) /. float_of_int (max 1 iterations))
+    in
+    let temp = ref t_start in
+    for _ = 1 to iterations do
+      let id = ctx.ids.(Random.State.int rng n_ids) in
+      let cur = ctx.tile_of.(id) in
+      let cc = cur mod sh.cols and cr = cur / sh.cols in
+      let dc = Random.State.int rng ((2 * sh.radius) + 1) - sh.radius in
+      let dr = Random.State.int rng ((2 * sh.radius) + 1) - sh.radius in
+      let nc = min (ctx.c1 - 1) (max ctx.c0 (cc + dc)) in
+      let nr = min (ctx.r1 - 1) (max ctx.r0 (cr + dr)) in
+      let dest = (nr * sh.cols) + nc in
+      if dest <> cur then begin
+        let item =
+          match sh.item_of.(id) with Some i -> i | None -> assert false
+        in
+        let cx = (float_of_int cc +. 0.5) *. sh.side in
+        let cy = (float_of_int cr +. 0.5) *. sh.side in
+        let dx = (float_of_int nc +. 0.5) *. sh.side in
+        let dy = (float_of_int nr +. 0.5) *. sh.side in
+        (* Try a plain move; if the destination is full, try swapping with
+           a random resident.  Occupancy verdicts are exact functions of
+           the resident multiset, so commits can be deferred to accepted
+           moves — the rejected-move path never touches occupancy. *)
+        if Occupancy.query ctx.occ.(dest) item then begin
+          set_tile ctx id dest;
+          let nt = collect1 ctx id in
+          let d =
+            eval_delta ctx nt ~oax:cx ~oay:cy ~nax:dx ~nay:dy ~obx:0.0
+              ~oby:0.0 ~nbx:0.0 ~nby:0.0
+          in
+          if
+            d <= 0.0
+            || Random.State.float rng 1.0 < exp (-.d /. max 1e-9 !temp)
+          then begin
+            commit ctx nt ~oax:cx ~oay:cy ~nax:dx ~nay:dy ~obx:0.0 ~oby:0.0
+              ~nbx:0.0 ~nby:0.0;
+            ctx.total <- ctx.total +. d;
+            incr accepted;
+            Occupancy.remove ctx.occ.(cur) item;
+            if not (Occupancy.add ctx.occ.(dest) item) then assert false
+          end
+          else set_tile ctx id cur
+        end
+        else if ctx.mem_n.(dest) > 0 then begin
+          let other =
+            ctx.mem.(dest).(ctx.mem_n.(dest)
+                            - 1
+                            - Random.State.int rng ctx.mem_n.(dest))
+          in
+          let other_item =
+            match sh.item_of.(other) with
+            | Some i -> i
+            | None -> assert false
+          in
+          (* Both feasibility questions ("does [item] fit in [dest]
+             without [other]?" and vice versa) are answered read-only;
+             occupancy mutates only when the swap is accepted. *)
+          let fwd =
+            Occupancy.query_replacing ctx.occ.(dest) ~without:other_item item
+          in
+          let bwd =
+            fwd
+            && Occupancy.query_replacing ctx.occ.(cur) ~without:item
+                 other_item
+          in
+          if fwd && bwd then begin
+            set_tile ctx id dest;
+            set_tile ctx other cur;
+            let nt = collect2 ctx id other in
+            let d =
+              eval_delta ctx nt ~oax:cx ~oay:cy ~nax:dx ~nay:dy ~obx:dx
+                ~oby:dy ~nbx:cx ~nby:cy
+            in
+            if
+              d <= 0.0
+              || Random.State.float rng 1.0 < exp (-.d /. max 1e-9 !temp)
+            then begin
+              commit ctx nt ~oax:cx ~oay:cy ~nax:dx ~nay:dy ~obx:dx ~oby:dy
+                ~nbx:cx ~nby:cy;
+              ctx.total <- ctx.total +. d;
+              incr accepted;
+              Occupancy.remove ctx.occ.(dest) other_item;
+              if not (Occupancy.add ctx.occ.(dest) item) then assert false;
+              Occupancy.remove ctx.occ.(cur) item;
+              if not (Occupancy.add ctx.occ.(cur) other_item) then
+                assert false
+            end
+            else begin
+              set_tile ctx id cur;
+              set_tile ctx other dest
+            end
+          end
+        end
+      end;
+      temp := !temp *. alpha
+    done
+  end;
+  !accepted
+
+let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
+    ~seed q pl =
+  if jobs < 1 then invalid_arg "Refine.run: jobs must be positive";
+  if regions < 1 then invalid_arg "Refine.run: regions must be positive";
   let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
   let n = Netlist.size nl in
-  let rng = Random.State.make [| seed |] in
   let item_of = Array.make n None in
   Array.iter
     (fun node -> item_of.(node.Netlist.id) <- Quadrisect.item_of_node node)
@@ -21,55 +390,18 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
   in
   let n_packed = Array.length packed in
   if n_packed = 0 then
-    { moves = 0; accepted = 0; initial_cost = 0.0; final_cost = 0.0 }
+    {
+      moves = 0;
+      accepted = 0;
+      initial_cost = 0.0;
+      final_cost = 0.0;
+      region_moves = 0;
+      boundary_moves = 0;
+    }
   else begin
-    let cols = q.Quadrisect.cols and rows = q.Quadrisect.rows in
-    let n_tiles = cols * rows in
-    (* Tile membership: per-tile dynamic arrays storing ids in reverse
-       list order (array slot [count - 1 - k] is what [List.nth _ k] of
-       the former list representation returned), so the swap-candidate
-       draw below consumes the RNG identically.  Prepend is an append;
-       removal shifts the (at most [output_pins]-long) tail, preserving
-       order. *)
-    let mem = Array.make n_tiles [||] in
-    let mem_n = Array.make n_tiles 0 in
-    let push t id =
-      let a = mem.(t) in
-      let c = mem_n.(t) in
-      if c = Array.length a then begin
-        let a' = Array.make (max 4 (2 * c)) (-1) in
-        Array.blit a 0 a' 0 c;
-        mem.(t) <- a'
-      end;
-      mem.(t).(c) <- id;
-      mem_n.(t) <- c + 1
-    in
-    let drop t id =
-      let a = mem.(t) and c = mem_n.(t) in
-      let k = ref 0 in
-      while a.(!k) <> id do
-        incr k
-      done;
-      Array.blit a (!k + 1) a !k (c - !k - 1);
-      mem_n.(t) <- c - 1
-    in
-    Array.iter
-      (fun id -> push q.Quadrisect.tile_of_node.(id) id)
-      packed;
-    (* Incremental occupancy per tile, replacing per-probe [Packer.fits]
-       recomputation; one shared fits memo for the whole refinement. *)
-    let cache = Occupancy.create_cache q.Quadrisect.arch in
-    let occ = Array.init n_tiles (fun _ -> Occupancy.create cache) in
-    Array.iter
-      (fun id ->
-        match item_of.(id) with
-        | Some it ->
-            if not (Occupancy.add occ.(q.Quadrisect.tile_of_node.(id)) it)
-            then invalid_arg "Refine.run: initial packing is infeasible"
-        | None -> assert false)
-      packed;
     (* Net bookkeeping (criticality-weighted HPWL), as in the annealer. *)
     let nets = Placement.nets_with_io pl in
+    let n_nets = Array.length nets in
     let crit id = match criticality with None -> 0.0 | Some c -> c.(id) in
     let weight =
       Array.map
@@ -78,7 +410,9 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
         nets
     in
     let deg = Array.make n 0 in
-    Array.iter (fun net -> Array.iter (fun id -> deg.(id) <- deg.(id) + 1) net) nets;
+    Array.iter
+      (fun net -> Array.iter (fun id -> deg.(id) <- deg.(id) + 1) net)
+      nets;
     let incident = Array.init n (fun id -> Array.make deg.(id) 0) in
     let fill = Array.make n 0 in
     Array.iteri
@@ -89,152 +423,173 @@ let run ?iterations ?(radius = 4) ?criticality ~seed q pl =
             fill.(id) <- fill.(id) + 1)
           net)
       nets;
-    let net_cost =
-      Array.mapi (fun e net -> weight.(e) *. Placement.net_hpwl pl net) nets
+    let small =
+      Array.map (fun net -> Array.length net <= small_cutoff) nets
     in
-    let total = ref (Array.fold_left ( +. ) 0.0 net_cost) in
-    let initial_cost = !total in
-    (* [delta_of] stashes each touched net's recomputed cost so an
-       accepting [commit] reuses it instead of re-walking the net. *)
-    let new_cost = Array.make (max 1 (Array.length nets)) 0.0 in
-    let delta_of touched =
-      List.fold_left
-        (fun acc e ->
-          let c = weight.(e) *. Placement.net_hpwl pl nets.(e) in
-          new_cost.(e) <- c;
-          acc +. (c -. net_cost.(e)))
-        0.0 touched
+    let scratch =
+      2 * Array.fold_left (fun a id -> max a deg.(id)) 1 packed
     in
-    let commit touched =
-      List.iter (fun e -> net_cost.(e) <- new_cost.(e)) touched
-    in
-    (* Stamp-array dedup of the nets incident to the moved ids; the small
-       deduped list is then sorted so [delta_of] folds in the same
-       (ascending-net) order as the former [List.sort_uniq]. *)
-    let stamp = Array.make (max 1 (Array.length nets)) (-1) in
-    let epoch = ref 0 in
-    let touched_of ids =
-      incr epoch;
-      let e = !epoch in
-      let acc = ref [] in
-      List.iter
-        (fun id ->
-          Array.iter
-            (fun net ->
-              if stamp.(net) <> e then begin
-                stamp.(net) <- e;
-                acc := net :: !acc
-              end)
-            incident.(id))
-        ids;
-      List.sort Int.compare !acc
-    in
-    let set_tile id tile =
-      let old = q.Quadrisect.tile_of_node.(id) in
-      drop old id;
-      push tile id;
-      q.Quadrisect.tile_of_node.(id) <- tile;
-      let x, y = Quadrisect.tile_center q tile in
-      pl.Placement.x.(id) <- x;
-      pl.Placement.y.(id) <- y
+    let sh =
+      {
+        arch = q.Quadrisect.arch;
+        cols = q.Quadrisect.cols;
+        rows = q.Quadrisect.rows;
+        side = Quadrisect.tile_side q;
+        radius;
+        item_of;
+        nets;
+        weight;
+        incident;
+        small;
+        n_nets;
+        scratch;
+      }
     in
     let iterations =
       match iterations with Some i -> i | None -> 60 * n_packed
     in
-    let t_start =
-      max 1.0 (initial_cost /. float_of_int (max 1 (Array.length nets)))
+    (* The region grid is a function of the array dims only (clamped so a
+       region is at least one tile wide), never of [jobs]. *)
+    let g = max 1 (min regions (min sh.cols sh.rows)) in
+    let emit_occupancy fits hits =
+      Vpga_obs.Trace.emit "pack.fits_calls" (float_of_int fits);
+      Vpga_obs.Trace.emit "pack.fits_cache_hits" (float_of_int hits)
     in
-    let t_end = t_start /. 1000.0 in
-    let alpha = exp (log (t_end /. t_start) /. float_of_int (max 1 iterations)) in
-    let temp = ref t_start in
-    let accepted = ref 0 in
-    for _ = 1 to iterations do
-      let id = packed.(Random.State.int rng n_packed) in
-      let cur = q.Quadrisect.tile_of_node.(id) in
-      let cc = cur mod cols and cr = cur / cols in
-      let dc = Random.State.int rng ((2 * radius) + 1) - radius in
-      let dr = Random.State.int rng ((2 * radius) + 1) - radius in
-      let nc = min (cols - 1) (max 0 (cc + dc)) in
-      let nr = min (rows - 1) (max 0 (cr + dr)) in
-      let dest = (nr * cols) + nc in
-      if dest <> cur then begin
-        let item = match item_of.(id) with Some i -> i | None -> assert false in
-        (* Try a plain move; if the destination is full, try swapping with a
-           random resident. *)
-        let try_swap_with =
-          if Occupancy.query occ.(dest) item then None
-          else if mem_n.(dest) = 0 then Some (-1) (* nothing to swap; give up *)
-          else
-            Some mem.(dest).(mem_n.(dest) - 1 - Random.State.int rng mem_n.(dest))
-        in
-        let apply () =
-          match try_swap_with with
-          | None ->
-              Occupancy.remove occ.(cur) item;
-              if not (Occupancy.add occ.(dest) item) then assert false;
-              set_tile id dest;
-              Some [ id ]
-          | Some other when other >= 0 ->
-              let other_item =
-                match item_of.(other) with Some i -> i | None -> assert false
-              in
-              Occupancy.remove occ.(dest) other_item;
-              let fwd = Occupancy.query occ.(dest) item in
-              Occupancy.remove occ.(cur) item;
-              let bwd = Occupancy.query occ.(cur) other_item in
-              if fwd && bwd then begin
-                if not (Occupancy.add occ.(dest) item) then assert false;
-                if not (Occupancy.add occ.(cur) other_item) then assert false;
-                set_tile id dest;
-                set_tile other cur;
-                Some [ id; other ]
-              end
-              else begin
-                if not (Occupancy.add occ.(cur) item) then assert false;
-                if not (Occupancy.add occ.(dest) other_item) then assert false;
-                None
-              end
-          | Some _ -> None
-        in
-        match apply () with
-        | None -> ()
-        | Some moved ->
-            let touched = touched_of moved in
-            let d = delta_of touched in
-            let accept =
-              d <= 0.0
-              || Random.State.float rng 1.0 < exp (-.d /. max 1e-9 !temp)
-            in
-            if accept then begin
-              commit touched;
-              total := !total +. d;
-              incr accepted
-            end
-            else begin
-              (* undo, occupancy included *)
-              match moved with
-              | [ only ] ->
-                  Occupancy.remove occ.(dest) item;
-                  if not (Occupancy.add occ.(cur) item) then assert false;
-                  set_tile only cur
-              | [ a; b ] ->
-                  let ib =
-                    match item_of.(b) with Some i -> i | None -> assert false
-                  in
-                  Occupancy.remove occ.(dest) item;
-                  Occupancy.remove occ.(cur) ib;
-                  if not (Occupancy.add occ.(cur) item) then assert false;
-                  if not (Occupancy.add occ.(dest) ib) then assert false;
-                  set_tile a cur;
-                  set_tile b dest
-              | _ -> assert false
-            end
-      end;
-      temp := !temp *. alpha
-    done;
-    Vpga_obs.Trace.emit "pack.fits_calls"
-      (float_of_int (Occupancy.fits_calls cache));
-    Vpga_obs.Trace.emit "pack.fits_cache_hits"
-      (float_of_int (Occupancy.cache_hits cache));
-    { moves = iterations; accepted = !accepted; initial_cost; final_cost = !total }
+    let emit_moves region boundary =
+      Vpga_obs.Trace.emit "refine.region_moves" (float_of_int region);
+      Vpga_obs.Trace.emit "refine.boundary_moves" (float_of_int boundary)
+    in
+    if g = 1 then begin
+      (* Single region: the sequential reference walk, bit-identical to
+         the original implementation. *)
+      let ctx =
+        make_ctx sh
+          ~bounds:(0, 0, sh.cols, sh.rows)
+          ~ids:packed ~tile_of:q.Quadrisect.tile_of_node ~view:pl
+      in
+      let initial_cost = ctx.total in
+      let rng = Random.State.make [| seed |] in
+      let accepted = walk ctx ~rng ~iterations in
+      emit_occupancy (Occupancy.fits_calls ctx.cache)
+        (Occupancy.cache_hits ctx.cache);
+      emit_moves iterations 0;
+      {
+        moves = iterations;
+        accepted;
+        initial_cost;
+        final_cost = ctx.total;
+        region_moves = iterations;
+        boundary_moves = 0;
+      }
+    end
+    else begin
+      let initial_cost =
+        let tot = ref 0.0 in
+        Array.iteri
+          (fun e net -> tot := !tot +. (weight.(e) *. Placement.net_hpwl pl net))
+          nets;
+        !tot
+      in
+      let n_regions = g * g in
+      (* Region ownership: a packed id belongs to the region whose tile
+         rectangle holds its current tile, so every region walk is
+         conflict-free by construction. *)
+      let owned = Array.make n_regions [] in
+      Array.iter
+        (fun id ->
+          let r =
+            Quadrisect.region_of_tile ~regions:g q
+              q.Quadrisect.tile_of_node.(id)
+          in
+          owned.(r) <- id :: owned.(r))
+        packed;
+      let region_ids = Array.map (fun l -> Array.of_list (List.rev l)) owned in
+      (* Budget: about two thirds of the iterations run inside the regions
+         (split proportionally to their populations), the rest go to the
+         sequential cross-boundary pass that restores inter-region
+         mobility. *)
+      let region_budget = iterations - (iterations / 3) in
+      let share =
+        Array.map
+          (fun ids -> region_budget * Array.length ids / n_packed)
+          region_ids
+      in
+      let region_total = Array.fold_left ( + ) 0 share in
+      let boundary_iters = iterations - region_total in
+      (* Region walks read only frozen snapshots (private tile/coordinate
+         copies taken before any walk runs) and their own RNG stream
+         derived from (seed, region), so results are independent of
+         worker count and scheduling. *)
+      let thunk r () =
+        let ids = region_ids.(r) in
+        if Array.length ids = 0 then None
+        else begin
+          let tile_of = Array.copy q.Quadrisect.tile_of_node in
+          let view =
+            {
+              pl with
+              Placement.x = Array.copy pl.Placement.x;
+              y = Array.copy pl.Placement.y;
+            }
+          in
+          let ctx =
+            make_ctx sh
+              ~bounds:(Quadrisect.region_bounds ~regions:g q r)
+              ~ids ~tile_of ~view
+          in
+          let rng = Random.State.make [| seed; r |] in
+          let accepted = walk ctx ~rng ~iterations:share.(r) in
+          Some (ctx, accepted)
+        end
+      in
+      let thunks = List.init n_regions thunk in
+      let results =
+        if jobs > 1 then
+          Pool.with_pool ~jobs:(min jobs n_regions) (fun p ->
+              let futs = List.map (Pool.submit p) thunks in
+              List.map Pool.await futs)
+        else List.map (fun f -> f ()) thunks
+      in
+      (* Merge region results in region order (deterministic; regions own
+         disjoint id sets, so order only matters for reproducibility, not
+         for the outcome). *)
+      let accepted = ref 0 in
+      let fits = ref 0 and hits = ref 0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (ctx, acc) ->
+              accepted := !accepted + acc;
+              fits := !fits + Occupancy.fits_calls ctx.cache;
+              hits := !hits + Occupancy.cache_hits ctx.cache;
+              Array.iter
+                (fun id ->
+                  q.Quadrisect.tile_of_node.(id) <- ctx.tile_of.(id);
+                  pl.Placement.x.(id) <- ctx.view.Placement.x.(id);
+                  pl.Placement.y.(id) <- ctx.view.Placement.y.(id))
+                ctx.ids)
+        results;
+      (* Sequential cross-boundary pass with the original seed: swaps may
+         now cross region borders, so the decomposition costs no
+         reachability. *)
+      let bctx =
+        make_ctx sh
+          ~bounds:(0, 0, sh.cols, sh.rows)
+          ~ids:packed ~tile_of:q.Quadrisect.tile_of_node ~view:pl
+      in
+      let rng = Random.State.make [| seed |] in
+      let bacc = walk bctx ~rng ~iterations:boundary_iters in
+      emit_occupancy
+        (!fits + Occupancy.fits_calls bctx.cache)
+        (!hits + Occupancy.cache_hits bctx.cache);
+      emit_moves region_total boundary_iters;
+      {
+        moves = iterations;
+        accepted = !accepted + bacc;
+        initial_cost;
+        final_cost = bctx.total;
+        region_moves = region_total;
+        boundary_moves = boundary_iters;
+      }
+    end
   end

@@ -8,18 +8,48 @@
     tiles and item swaps, accepted only when the destination tiles remain
     feasible ({!Vpga_plb.Packer.fits}), minimizing criticality-weighted
     half-perimeter wirelength.  Mutates the quadrisection result and the
-    snapped placement coordinates in place. *)
+    snapped placement coordinates in place.
 
-type stats = { moves : int; accepted : int; initial_cost : float; final_cost : float }
+    With [regions > 1] the die is cut into a [regions x regions] grid
+    ({!Quadrisect.region_bounds}); each region anneals its own items
+    (ownership by current tile, so walks are conflict-free) on a private
+    bookkeeping slice with an RNG stream derived from [(seed, region)],
+    optionally fanned out over a {!Vpga_par.Pool}, then a sequential
+    cross-boundary pass with the original seed restores inter-region
+    moves.  Results are identical at every [jobs] setting. *)
+
+type stats = {
+  moves : int;
+  accepted : int;
+  initial_cost : float;
+  final_cost : float;
+  region_moves : int;  (** moves spent inside region walks *)
+  boundary_moves : int;  (** moves spent in the cross-boundary pass *)
+}
+
+exception Infeasible of string
+(** The initial packing violates per-tile feasibility — a stage
+    precondition failure, adopted as a typed
+    [Vpga_resil.Fail.Stage_failure] by the flow driver. *)
 
 val run :
   ?iterations:int ->
   ?radius:int ->
   ?criticality:float array ->
+  ?jobs:int ->
+  ?regions:int ->
   seed:int ->
   Quadrisect.t ->
   Vpga_place.Placement.t ->
   stats
 (** [run ~seed q pl] — [pl] must already be snapped to [q]'s tile grid;
     [radius] (default 4) bounds how far (in tiles) a single move may go;
-    [iterations] defaults to [60 * packed items]. *)
+    [iterations] defaults to [60 * packed items].  [regions] (default 1)
+    selects the region grid; with the default the run is the sequential
+    reference walk, bit-identical to the historical implementation.
+    [jobs] (default 1) bounds the worker domains used for region walks;
+    it affects wall time only, never results.  Counters emitted on the
+    ambient {!Vpga_obs.Trace}: [pack.fits_calls], [pack.fits_cache_hits],
+    [refine.region_moves], [refine.boundary_moves] (single-region runs
+    count every move as a region move).
+    @raise Infeasible if the initial packing is infeasible. *)

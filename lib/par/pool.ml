@@ -172,6 +172,17 @@ let shutdown p =
   in
   List.iter Domain.join to_join
 
+let with_pool ?capacity ~jobs f =
+  let p = create ?capacity ~jobs () in
+  match f p with
+  | v ->
+      shutdown p;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      shutdown p;
+      Printexc.raise_with_backtrace e bt
+
 let run ?jobs thunks =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let n = List.length thunks in

@@ -59,6 +59,13 @@ val shutdown : t -> unit
 val stats : t -> stats
 (** A consistent snapshot of the pool's accounting so far. *)
 
+val with_pool : ?capacity:int -> jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] against a freshly created pool and
+    guarantees {!shutdown} on every exit path — the scoped-submission
+    helper for finer-grained fan-out (e.g. region-parallel refinement
+    inside one flow stage) that must not leak worker domains when a task
+    raises.  The pool argument is only valid during [f]. *)
+
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run ~jobs thunks]: execute every thunk on a transient pool of
     [min jobs (length thunks)] workers and return the results in

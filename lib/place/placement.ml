@@ -47,16 +47,20 @@ let create ?utilization nl =
   { graph; die_w; die_h; x; y }
 
 let net_hpwl t net =
-  let minx = ref infinity and maxx = ref neg_infinity in
-  let miny = ref infinity and maxy = ref neg_infinity in
-  Array.iter
-    (fun id ->
-      if t.x.(id) < !minx then minx := t.x.(id);
-      if t.x.(id) > !maxx then maxx := t.x.(id);
-      if t.y.(id) < !miny then miny := t.y.(id);
-      if t.y.(id) > !maxy then maxy := t.y.(id))
-    net;
-  !maxx -. !minx +. (!maxy -. !miny)
+  (* Bounds in a float array (min_x, max_x, min_y, max_y): element writes
+     stay unboxed, where float refs would allocate on every update — this
+     scan is the annealer's and the refiner's rescan primitive. *)
+  let b = [| infinity; neg_infinity; infinity; neg_infinity |] in
+  let xs = t.x and ys = t.y in
+  for i = 0 to Array.length net - 1 do
+    let id = net.(i) in
+    let x = xs.(id) and y = ys.(id) in
+    if x < b.(0) then b.(0) <- x;
+    if x > b.(1) then b.(1) <- x;
+    if y < b.(2) then b.(2) <- y;
+    if y > b.(3) then b.(3) <- y
+  done;
+  b.(1) -. b.(0) +. (b.(3) -. b.(2))
 
 let nets_with_io t = nets_with_io_of t.graph.Hypergraph.nl
 

@@ -153,6 +153,69 @@ let query t it =
         b
   end
 
+let item_equal (a : Packer.item) (b : Packer.item) =
+  a.Packer.config = b.Packer.config
+  && a.Packer.pins = b.Packer.pins
+  && a.Packer.flop = b.Packer.flop
+
+(* "Would [it] fit if resident [without] left?" — the refinement loop's
+   swap probe, answered without mutating the tile.  Verdicts are exact
+   functions of the resulting resident multiset (the same cascade as
+   [query] over adjusted counters/vectors), so this equals
+   [remove without; query it] followed by restoring [without]. *)
+let query_replacing t ~without it =
+  let c = t.cache in
+  c.fits_calls <- c.fits_calls + 1;
+  let a = c.arch in
+  let flops = t.flops - (if without.Packer.flop then 1 else 0) in
+  if
+    flops + (if it.Packer.flop then 1 else 0)
+    > Vector.get a.Arch.capacity Arch.Ff
+    || t.outputs > a.Arch.output_pins (* -1 for the leaver, +1 for [it] *)
+    || t.pins - without.Packer.pins + it.Packer.pins > a.Arch.input_pins
+  then false
+  else if pure_flop it then true
+  else if
+    t.min_slots - min_slots_of c without + min_slots_of c it > c.comb_cap
+  then false
+  else begin
+    let leaver_alt =
+      let rec find = function
+        | [] -> invalid_arg "Occupancy.query_replacing: item not present"
+        | s :: rest ->
+            if item_equal s.s_item without then s.s_alt else find rest
+      in
+      find t.slots
+    in
+    let used = Vector.sub t.used leaver_alt in
+    let cap = a.Arch.capacity in
+    let rec probe = function
+      | [] -> false
+      | d :: ds -> Vector.fits (Vector.add used d) ~cap || probe ds
+    in
+    probe c.demands.(config_index it.Packer.config)
+    ||
+    let key =
+      t.signature
+      - (if pure_flop without then 0 else sig_bit without.Packer.config)
+      + sig_bit it.Packer.config
+    in
+    match Hashtbl.find_opt c.memo key with
+    | Some b ->
+        c.cache_hits <- c.cache_hits + 1;
+        b
+    | None ->
+        let rec drop_one acc = function
+          | [] -> List.rev acc
+          | s :: rest when item_equal s.s_item without ->
+              List.rev_append acc (List.map (fun s -> s.s_item) rest)
+          | s :: rest -> drop_one (s.s_item :: acc) rest
+        in
+        let b = solve c (it :: drop_one [] t.slots) <> None in
+        Hashtbl.add c.memo key b;
+        b
+  end
+
 let bump t (it : Packer.item) =
   t.pins <- t.pins + it.Packer.pins;
   t.outputs <- t.outputs + 1;
@@ -199,11 +262,6 @@ let add t it =
               bump t it;
               Hashtbl.replace c.memo key true;
               true)
-
-let item_equal (a : Packer.item) (b : Packer.item) =
-  a.Packer.config = b.Packer.config
-  && a.Packer.pins = b.Packer.pins
-  && a.Packer.flop = b.Packer.flop
 
 let remove t it =
   let rec go acc = function

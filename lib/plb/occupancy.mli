@@ -49,6 +49,13 @@ val query : t -> Packer.item -> bool
 (** [query t it] iff [Packer.fits (arch t) (it :: items t)].  Read-only
     apart from cache statistics. *)
 
+val query_replacing : t -> without:Packer.item -> Packer.item -> bool
+(** [query_replacing t ~without it] iff [it] would fit once resident
+    [without] left: the refinement loop's swap probe, equal to
+    [remove t without; query t it] with [without] restored — but
+    read-only, so a rejected swap never touches the tile.
+    @raise Invalid_argument when [without] is not a resident. *)
+
 val add : t -> Packer.item -> bool
 (** Commit [it] if it fits (same predicate as {!query}); returns whether
     it was added.  May recommit residents to different demand

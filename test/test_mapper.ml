@@ -238,6 +238,50 @@ let test_techmap_sequential () =
       | Equiv.Mismatch _ -> Alcotest.fail (arch.Arch.name ^ ": sequential"))
     Arch.all
 
+(* --- Incremental FlowMap labeling --------------------------------------- *)
+
+(* A mid-sized random AIG: deep enough that cones overlap and the
+   invalidation rule has real propagation work to do. *)
+let random_aig seed =
+  let rng = Random.State.make [| seed |] in
+  let t = Aig.create () in
+  let pis = List.init 6 (fun _ -> Aig.add_pi t) in
+  let pool = ref pis in
+  let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+  for _ = 1 to 60 do
+    let a = pick () and b = pick () in
+    let a = if Random.State.bool rng then Aig.not_ a else a in
+    let b = if Random.State.bool rng then Aig.not_ b else b in
+    pool := Aig.and_ t a b :: !pool
+  done;
+  t
+
+(* Whatever the dirty sets are, the incremental tracker must always agree
+   with from-scratch labeling (here the AIG never changes, so every
+   recompute confirms — the compact-iteration scenario). *)
+let prop_incremental_labels =
+  QCheck.Test.make ~name:"incremental relabel == from-scratch labels"
+    ~count:25 QCheck.small_int (fun seed ->
+      let t = random_aig seed in
+      let n = Aig.size t in
+      let want = Flowmap.labels t ~k:3 in
+      let inc = Flowmap.Incremental.create t ~k:3 in
+      if Flowmap.Incremental.labels inc <> want then
+        QCheck.Test.fail_reportf "create disagrees with labels";
+      let rng = Random.State.make [| seed + 1 |] in
+      for _ = 1 to 4 do
+        let dirty =
+          List.init
+            (Random.State.int rng 8)
+            (fun _ -> Random.State.int rng n)
+        in
+        Flowmap.Incremental.relabel inc ~dirty;
+        if Flowmap.Incremental.labels inc <> want then
+          QCheck.Test.fail_reportf "relabel with dirty=[%s] diverged"
+            (String.concat ";" (List.map string_of_int dirty))
+      done;
+      true)
+
 (* --- Compact ------------------------------------------------------------ *)
 
 let random_comb_netlist seed =
@@ -262,6 +306,48 @@ let random_comb_netlist seed =
   ignore (Netlist.output nl "o1" (pick ()));
   ignore (Netlist.output nl "o2" (pick ()));
   nl
+
+(* The traced multi-pass cover selection relabels incrementally after each
+   pass; on a fixed AIG the labels must be stable across every pass and
+   match the from-scratch reference indirectly via the tracker. *)
+let test_compact_traced_passes () =
+  let nl = random_comb_netlist 11 in
+  List.iter
+    (fun arch ->
+      let compacted, traces = Compact.run_traced ~passes:3 arch nl in
+      Alcotest.(check int)
+        (arch.Arch.name ^ ": one trace per pass")
+        3 (List.length traces);
+      (match traces with
+      | first :: rest ->
+          Alcotest.(check (list int))
+            (arch.Arch.name ^ ": pass 1 has no dirty nodes")
+            [] first.Compact.changed;
+          List.iter
+            (fun tr ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: pass %d labels stable" arch.Arch.name
+                   tr.Compact.pass)
+                true
+                (tr.Compact.labels = first.Compact.labels))
+            rest
+      | [] -> Alcotest.fail "no traces");
+      (* The traced path must agree with the untraced one. *)
+      match Equiv.check_exhaustive nl compacted with
+      | Equiv.Equivalent -> ()
+      | Equiv.Mismatch _ ->
+          Alcotest.fail (arch.Arch.name ^ ": traced compaction broke design"))
+    Arch.all
+
+let test_compact_multipass_equivalence () =
+  let nl = random_comb_netlist 13 in
+  List.iter
+    (fun arch ->
+      match Equiv.check_exhaustive nl (Compact.run ~passes:3 arch nl) with
+      | Equiv.Equivalent -> ()
+      | Equiv.Mismatch _ ->
+          Alcotest.fail (arch.Arch.name ^ ": multi-pass broke design"))
+    Arch.all
 
 let prop_compact_equivalence =
   QCheck.Test.make ~name:"compaction preserves function (both archs)"
@@ -360,5 +446,13 @@ let () =
           Alcotest.test_case "sequential" `Quick test_compact_sequential;
           Alcotest.test_case "area reduction" `Quick test_compact_reduces_area;
           Alcotest.test_case "histogram" `Quick test_compact_histogram;
+          Alcotest.test_case "multi-pass equivalence" `Quick
+            test_compact_multipass_equivalence;
+        ] );
+      ( "incremental labeling",
+        [
+          qt prop_incremental_labels;
+          Alcotest.test_case "traced passes stable" `Quick
+            test_compact_traced_passes;
         ] );
     ]

@@ -77,6 +77,30 @@ let occupancy_matches_fits arch items =
           (item_print it)
           (String.concat "; " (List.map item_print !shadow)))
     items;
+  (* The read-only swap probe must agree with the reference predicate on
+     the replaced multiset, and must leave the tile untouched. *)
+  let remove_one x l =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | y :: rest when y = x -> List.rev_append acc rest
+      | y :: rest -> go (y :: acc) rest
+    in
+    go [] l
+  in
+  List.iter
+    (fun without ->
+      List.iter
+        (fun it ->
+          let want = Packer.fits arch (it :: remove_one without !shadow) in
+          if Occupancy.query_replacing t ~without it <> want then
+            QCheck.Test.fail_reportf
+              "query_replacing disagrees on %s replacing %s over [%s]"
+              (item_print it) (item_print without)
+              (String.concat "; " (List.map item_print !shadow));
+          if Occupancy.count t <> List.length !shadow then
+            QCheck.Test.fail_reportf "query_replacing mutated the tile")
+        items)
+    !shadow;
   true
 
 let prop_occupancy =
@@ -162,6 +186,79 @@ let test_golden_checksums () =
         Arch.all)
     designs
 
+(* --- Region-parallel refinement: jobs-independence ----------------------- *)
+
+(* Packing state through snap (the refinement precondition), built once
+   per design x arch and refined on private copies, so one fixture serves
+   every (jobs, regions, seed) combination. *)
+let prepared =
+  lazy
+    (Config.prewarm ();
+     List.concat_map
+       (fun (dname, build) ->
+         let nl = build () in
+         List.map
+           (fun arch ->
+             let nl = Compact.run arch nl in
+             let nl = Buffering.insert ~max_fanout:8 nl in
+             let pl = Placement.create nl in
+             Global.place ~seed:3 pl;
+             let q = Quadrisect.legalize arch pl in
+             let side = sqrt arch.Arch.tile_area in
+             let pl_b =
+               {
+                 pl with
+                 Placement.die_w = float_of_int q.Quadrisect.cols *. side;
+                 die_h = float_of_int q.Quadrisect.rows *. side;
+               }
+             in
+             Quadrisect.snap q pl_b;
+             (Printf.sprintf "%s/%s" dname arch.Arch.name, q, pl_b))
+           Arch.all)
+       designs)
+
+let refine_copy ~jobs ~regions ~seed (q, pl) =
+  let q' =
+    {
+      q with
+      Quadrisect.tile_of_node = Array.copy q.Quadrisect.tile_of_node;
+    }
+  in
+  let pl' =
+    {
+      pl with
+      Placement.x = Array.copy pl.Placement.x;
+      y = Array.copy pl.Placement.y;
+    }
+  in
+  let st = Refine.run ~iterations:20_000 ~jobs ~regions ~seed q' pl' in
+  (q'.Quadrisect.tile_of_node, st)
+
+(* Region-parallel refinement must produce identical results at any
+   worker count: region walks read frozen snapshots and own disjoint id
+   sets, so scheduling cannot leak into the outcome. *)
+let prop_jobs_independent =
+  QCheck.Test.make ~name:"refine: jobs=1 == jobs=4 (regions=2)" ~count:3
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      List.for_all
+        (fun (name, q, pl) ->
+          let t1, s1 = refine_copy ~jobs:1 ~regions:2 ~seed (q, pl) in
+          let t4, s4 = refine_copy ~jobs:4 ~regions:2 ~seed (q, pl) in
+          if t1 <> t4 then
+            QCheck.Test.fail_reportf "%s: tile assignment differs" name;
+          if s1.Refine.final_cost <> s4.Refine.final_cost then
+            QCheck.Test.fail_reportf "%s: final cost differs (%f vs %f)" name
+              s1.Refine.final_cost s4.Refine.final_cost;
+          if s1.Refine.region_moves + s1.Refine.boundary_moves
+             <> s1.Refine.moves
+          then
+            QCheck.Test.fail_reportf "%s: move budget leaks (%d + %d <> %d)"
+              name s1.Refine.region_moves s1.Refine.boundary_moves
+              s1.Refine.moves;
+          true)
+        (Lazy.force prepared))
+
 let test_same_seed_determinism () =
   Config.prewarm ();
   let nl = Vpga_designs.Alu.build ~width:8 () in
@@ -183,4 +280,6 @@ let () =
           Alcotest.test_case "same seed twice" `Quick
             test_same_seed_determinism;
         ] );
+      ( "region-parallel",
+        [ QCheck_alcotest.to_alcotest prop_jobs_independent ] );
     ]
