@@ -6,14 +6,17 @@
 #   make verify     lint + SAT-based formal equivalence suite only
 #   make faults     fault-injection + retry/escalation resilience suite only
 #   make obs        observability suite only (spans, counters, trace export)
+#   make analyze    static-analysis suite only (dataflow passes, CEC-gated
+#                   simplifier, region-ownership sanitizer)
 #   make bench      full paper reproduction + kernel benchmarks;
 #                   writes BENCH_sweep.json with a per-stage stages_s
 #                   breakdown (JOBS=N to set worker domains)
 #   make perfdiff   re-run just the kernels and diff against the committed
 #                   BENCH_sweep.json; exits nonzero past TOLERANCE
 #                   (fractional, default 0.25)
-#   make check      the full pre-merge gate: build, test suite, then the
-#                   kernel perf regression diff at 25% tolerance
+#   make check      the full pre-merge gate: build, test suite, the
+#                   static-analysis suite, then the kernel perf
+#                   regression diff at 25% tolerance
 #   make trace      run one traced flow (alu / granular) and write
 #                   trace.json -- open it at https://ui.perfetto.dev or
 #                   summarize with `dune exec bin/vpga.exe -- report trace.json`
@@ -21,7 +24,7 @@
 JOBS ?=
 TOLERANCE ?=
 
-.PHONY: all build test verify faults obs bench perfdiff check trace clean
+.PHONY: all build test verify faults obs analyze bench perfdiff check trace clean
 
 all: build test
 
@@ -40,6 +43,9 @@ faults:
 obs:
 	dune build @obs
 
+analyze:
+	dune build @analyze
+
 trace:
 	dune exec bin/vpga.exe -- flow -d alu -a granular --trace trace.json
 	dune exec bin/vpga.exe -- report trace.json
@@ -53,6 +59,7 @@ perfdiff:
 check:
 	dune build
 	dune build @runtest
+	dune build @analyze
 	$(MAKE) perfdiff TOLERANCE=0.25
 
 clean:

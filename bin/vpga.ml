@@ -8,6 +8,7 @@
      vpga flow -d NAME -a ARCH  one design through one architecture
      vpga sweep [-p] [-j N]   fault-isolated sweep with a recovery summary
      vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages
+     vpga analyze -d NAME [-a ARCH]  dataflow analyses over the stages
      vpga report FILE         per-stage summary of a Chrome trace file *)
 
 open Cmdliner
@@ -136,6 +137,29 @@ let policy_arg =
            restarts, and Formal->Fast degradation on undecided SAT \
            proofs), or strict (one attempt, any stage failure is final).")
 
+let analyze_flag =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+        ~doc:
+          "Run the static dataflow analyses (constant propagation, \
+           X-propagation, redundancy, fanout shape) over the source \
+           netlist and arm the region-ownership sanitizer around the \
+           packing refinement.  Detection only: results are identical \
+           with or without it.")
+
+let fail_on_warning_flag =
+  Arg.(
+    value & flag
+    & info [ "fail-on-warning" ]
+        ~doc:"Exit with status 2 when any warning-level diagnostic is found.")
+
+(* Unified diagnostic exit codes, shared by lint and analyze: errors are
+   always exit 1; warnings are exit 2 only under --fail-on-warning. *)
+let diag_exit ~fail_on_warning ~errors ~warnings =
+  if errors then exit 1;
+  if fail_on_warning && warnings then exit 2
+
 let trace_arg =
   Arg.(
     value
@@ -148,7 +172,7 @@ let trace_arg =
            summarize with $(b,vpga report)).")
 
 let flow_cmd =
-  let run paper seed design arch_name verify policy trace_file jobs =
+  let run paper seed design arch_name verify policy trace_file jobs analyze =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
     let trace =
@@ -156,7 +180,7 @@ let flow_cmd =
       | Some _ -> Trace.create ~label:(design ^ "/" ^ arch_name) ()
       | None -> Trace.null
     in
-    let pair = run_flow ~seed ~verify ~policy ~trace ~jobs arch nl in
+    let pair = run_flow ~seed ~verify ~policy ~trace ~jobs ~analyze arch nl in
     let show (o : Flow.outcome) =
       Format.printf
         "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
@@ -181,7 +205,7 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
     Term.(
       const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg
-      $ policy_arg $ trace_arg $ jobs_arg)
+      $ policy_arg $ trace_arg $ jobs_arg $ analyze_flag)
 
 let sweep_cmd =
   let verbose_flag =
@@ -192,9 +216,9 @@ let sweep_cmd =
             "Also print the worker pool's accounting: tasks run, total \
              queue wait, and per-worker busy time.")
   in
-  let run paper seed jobs verify policy verbose =
+  let run paper seed jobs verify policy verbose analyze =
     let reports, pstats =
-      Experiments.run_tasks_with_stats ~seed ~jobs ~verify ~policy
+      Experiments.run_tasks_with_stats ~seed ~jobs ~verify ~policy ~analyze
         (scale_of paper)
     in
     let failed =
@@ -244,7 +268,7 @@ let sweep_cmd =
           task failed.")
     Term.(
       const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg
-      $ verbose_flag)
+      $ verbose_flag $ analyze_flag)
 
 let lint_cmd =
   let formal_flag =
@@ -255,7 +279,7 @@ let lint_cmd =
             "Also prove each front-end stage equivalent to the source \
              netlist with the SAT-based checker.")
   in
-  let run paper design arch_name formal =
+  let run paper design arch_name formal fail_on_warning =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
     let report title nl' =
@@ -263,7 +287,7 @@ let lint_cmd =
       Format.printf "== %s ==@." title;
       if ds = [] then Format.printf "clean@."
       else Diag.pp_report Format.std_formatter ds;
-      Diag.has_errors ds
+      ds
     in
     let stages =
       [
@@ -274,9 +298,7 @@ let lint_cmd =
           Buffering.insert ~max_fanout:8 (Compact.run arch nl) );
       ]
     in
-    let any_error =
-      List.fold_left (fun acc (t, d) -> report t d || acc) false stages
-    in
+    let all = List.concat_map (fun (t, d) -> report t d) stages in
     if formal then
       List.iter
         (fun (title, d) ->
@@ -285,14 +307,63 @@ let lint_cmd =
             Format.printf "cec %s: proven equivalent@." title
           end)
         stages;
-    if any_error then exit 1
+    diag_exit ~fail_on_warning ~errors:(Diag.has_errors all)
+      ~warnings:(List.exists (fun d -> d.Diag.severity = Diag.Warning) all)
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Lint a design and its front-end stages (combinational loops, \
-          undriven pins, dead logic, duplicate names); exits 1 on errors")
-    Term.(const run $ paper_flag $ design_arg $ arch_arg $ formal_flag)
+          undriven pins, dead logic, duplicate names); exits 1 on errors, \
+          2 on warnings under $(b,--fail-on-warning)")
+    Term.(
+      const run $ paper_flag $ design_arg $ arch_arg $ formal_flag
+      $ fail_on_warning_flag)
+
+let analyze_cmd =
+  let simplify_flag =
+    Arg.(
+      value & flag
+      & info [ "simplify" ]
+          ~doc:
+            "Also run the implied-constant / redundancy simplifier on each \
+             stage; every rewritten netlist is proven equivalent to its \
+             source by the SAT-based CEC before being reported.")
+  in
+  let run paper design arch_name simplify fail_on_warning =
+    let nl = design_of_name paper design in
+    let arch = arch_of_name arch_name in
+    let stages =
+      [
+        ("source", nl);
+        ("techmap " ^ arch.Arch.name, Techmap.map arch nl);
+        ("compact " ^ arch.Arch.name, Compact.run arch nl);
+        ( "buffered " ^ arch.Arch.name,
+          Buffering.insert ~max_fanout:8 (Compact.run arch nl) );
+      ]
+    in
+    let all =
+      List.concat_map
+        (fun (title, nl') ->
+          let a = Analysis.run ~simplify nl' in
+          Format.printf "== %s ==@." title;
+          Format.printf "@[<v>%a@]@." Analysis.pp a;
+          Analysis.diags a)
+        stages
+    in
+    diag_exit ~fail_on_warning ~errors:(Diag.has_errors all)
+      ~warnings:(List.exists (fun d -> d.Diag.severity = Diag.Warning) all)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the dataflow analyses (constant propagation, X-propagation, \
+          structural redundancy, fanout/depth shape) over a design and its \
+          front-end stages; exits 1 on errors, 2 on warnings under \
+          $(b,--fail-on-warning)")
+    Term.(
+      const run $ paper_flag $ design_arg $ arch_arg $ simplify_flag
+      $ fail_on_warning_flag)
 
 let export_cmd =
   let design =
@@ -357,6 +428,7 @@ let () =
             flow_cmd;
             sweep_cmd;
             lint_cmd;
+            analyze_cmd;
             export_cmd;
             report_cmd;
           ]))

@@ -120,6 +120,7 @@ type bound = {
   source : Netlist.t;
   pi_sources : int array;
   roots : (root * lit) list;
+  node_lits : int array;
 }
 
 let of_netlist nl =
@@ -158,4 +159,10 @@ let of_netlist nl =
         (fun f -> (Flop_d f, lit_of.((Netlist.node nl f).Netlist.fanins.(0))))
         (Netlist.flops nl)
   in
-  { aig = t; source = nl; pi_sources = Array.of_list (List.rev !pi_srcs); roots }
+  {
+    aig = t;
+    source = nl;
+    pi_sources = Array.of_list (List.rev !pi_srcs);
+    roots;
+    node_lits = lit_of;
+  }

@@ -58,6 +58,11 @@ type bound = {
   source : Netlist.t;
   pi_sources : int array;  (** netlist node id per AIG PI (inputs then flops) *)
   roots : (root * lit) list;
+  node_lits : int array;
+      (** per netlist node, the AIG literal computing it — the witness the
+          redundancy analysis groups by: two nodes with the same literal
+          strash to the same function.  [-1] for [Output] nodes (they
+          carry no logic; see [roots]). *)
 }
 
 val of_netlist : Netlist.t -> bound

@@ -1,0 +1,61 @@
+(* Ternary 0/1/X constant propagation from the simulator's all-zero reset
+   state: a flop's value is the join of 0 (reset) and everything its D pin
+   ever takes, so "this flop never leaves reset" and "this gate is masked
+   to a constant" both fall out of one forward fixed point. *)
+
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Diag = Vpga_verify.Diag
+
+type result = {
+  values : Ternary.v array;
+  constants : int list;
+      (* combinational non-[Const] gates proven constant, ascending id *)
+  const_flops : int list;  (* flops that provably never leave reset *)
+  const_outputs : int list;  (* primary outputs driven by a constant *)
+}
+
+let analyze nl =
+  let values = Ternary.values ~flop_init:Ternary.C0 nl in
+  let constants = ref [] and const_flops = ref [] and const_outputs = ref [] in
+  for i = Netlist.size nl - 1 downto 0 do
+    if Ternary.const values.(i) <> None then
+      match (Netlist.node nl i).Netlist.kind with
+      | Kind.Input | Kind.Const _ -> ()
+      | Kind.Output -> const_outputs := i :: !const_outputs
+      | Kind.Dff -> const_flops := i :: !const_flops
+      | _ -> constants := i :: !constants
+  done;
+  {
+    values;
+    constants = !constants;
+    const_flops = !const_flops;
+    const_outputs = !const_outputs;
+  }
+
+let run nl =
+  let r = analyze nl in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if r.constants <> [] then
+    add
+      (Diag.warning ~nodes:r.constants "const-logic"
+         "%d gate(s) compute a constant from the reset state"
+         (List.length r.constants));
+  if r.const_flops <> [] then
+    add
+      (Diag.warning ~nodes:r.const_flops "const-flop"
+         "%d flop(s) provably never leave their reset value"
+         (List.length r.const_flops));
+  List.iter
+    (fun o ->
+      let v = r.values.(o) in
+      add
+        (Diag.warning ~nodes:[ o ] "const-output"
+           "primary output %d is stuck at %s" o (Ternary.to_string v)))
+    r.const_outputs;
+  let found =
+    List.length r.constants + List.length r.const_flops
+  in
+  Pass.make "constprop" !diags
+    [ ("analysis.constants_found", float_of_int found) ]

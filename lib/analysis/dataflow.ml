@@ -1,0 +1,139 @@
+module Netlist = Vpga_netlist.Netlist
+
+type direction = Forward | Backward
+
+type 'v spec = {
+  direction : direction;
+  init : Netlist.node -> 'v;
+  transfer : Netlist.t -> 'v array -> Netlist.node -> 'v;
+  equal : 'v -> 'v -> bool;
+}
+
+exception Diverged
+
+let fixpoint ?fuel nl spec =
+  let n = Netlist.size nl in
+  let values = Array.init n (fun i -> spec.init (Netlist.node nl i)) in
+  (* Dependents to re-queue when a node's value changes: readers for a
+     forward analysis, fanins for a backward one. *)
+  let deps =
+    match spec.direction with
+    | Forward -> Netlist.fanout nl
+    | Backward -> Array.init n (fun i -> (Netlist.node nl i).Netlist.fanins)
+  in
+  let fuel =
+    match fuel with Some f -> f | None -> max 10_000 (64 * n)
+  in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let push i =
+    if not queued.(i) then begin
+      queued.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  (match spec.direction with
+  | Forward ->
+      for i = 0 to n - 1 do
+        push i
+      done
+  | Backward ->
+      for i = n - 1 downto 0 do
+        push i
+      done);
+  let steps = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    queued.(i) <- false;
+    incr steps;
+    if !steps > fuel then raise Diverged;
+    let v = spec.transfer nl values (Netlist.node nl i) in
+    if not (spec.equal v values.(i)) then begin
+      values.(i) <- v;
+      Array.iter (fun j -> if j >= 0 && j < n then push j) deps.(i)
+    end
+  done;
+  values
+
+(* Tarjan's strongly-connected components, iterative (explicit DFS stack)
+   so deep graphs cannot overflow the OCaml stack.  Returns only the
+   cyclic components: size > 1, or a single node with a self-edge.  This
+   is the traversal Lint's combinational-loop detection has always used,
+   lifted out so every pass shares it. *)
+let cyclic_sccs ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let visit root =
+    (* Explicit DFS stack: (node, successors, next successor position). *)
+    let work = ref [] in
+    let push v =
+      index.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      stack := v :: !stack;
+      on_stack.(v) <- true;
+      work := (v, succ v, ref 0) :: !work
+    in
+    push root;
+    while !work <> [] do
+      match !work with
+      | [] -> ()
+      | (v, fis, pos) :: rest ->
+          if !pos < Array.length fis then begin
+            let w = fis.(!pos) in
+            incr pos;
+            if index.(w) < 0 then push w
+            else if on_stack.(w) then
+              lowlink.(v) <- min lowlink.(v) index.(w)
+          end
+          else begin
+            work := rest;
+            (match rest with
+            | (parent, _, _) :: _ ->
+                lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            | [] -> ());
+            if lowlink.(v) = index.(v) then begin
+              let rec pop acc =
+                match !stack with
+                | [] -> acc
+                | w :: tl ->
+                    stack := tl;
+                    on_stack.(w) <- false;
+                    if w = v then w :: acc else pop (w :: acc)
+              in
+              let comp = pop [] in
+              let cyclic =
+                match comp with
+                | [ w ] -> Array.exists (fun f -> f = w) (succ w)
+                | _ -> List.length comp > 1
+              in
+              if cyclic then sccs := comp :: !sccs
+            end
+          end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  List.rev !sccs
+
+let reachable ~n ~roots ~next =
+  let seen = Array.make n false in
+  let work = ref roots in
+  while !work <> [] do
+    match !work with
+    | [] -> ()
+    | i :: rest ->
+        work := rest;
+        if not seen.(i) then begin
+          seen.(i) <- true;
+          Array.iter
+            (fun j -> if j >= 0 && j < n && not seen.(j) then work := j :: !work)
+            (next i)
+        end
+  done;
+  seen

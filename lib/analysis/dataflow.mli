@@ -1,0 +1,53 @@
+(** Generic fixed-point dataflow over a netlist, plus the graph traversals
+    every static pass shares.
+
+    The engine runs chaotic iteration with a deterministic FIFO worklist:
+    node values start at [init], [transfer] recomputes a node from the
+    current value array, and a changed node re-queues its dependents
+    (fanouts for a {!Forward} analysis, fanins for a {!Backward} one).
+    With a finite lattice and a monotone transfer the iteration terminates
+    at the least fixed point; the [fuel] bound turns a non-monotone spec
+    into a {!Diverged} failure instead of a hang.
+
+    Determinism: the initial worklist is seeded in id order (reverse id
+    order for backward analyses) and dependents are visited in the order
+    {!Vpga_netlist.Netlist.fanout} reports them, so the relaxation
+    sequence — and therefore any non-confluent result — is reproducible. *)
+
+module Netlist := Vpga_netlist.Netlist
+
+type direction = Forward | Backward
+
+type 'v spec = {
+  direction : direction;
+  init : Netlist.node -> 'v;  (** starting value per node *)
+  transfer : Netlist.t -> 'v array -> Netlist.node -> 'v;
+      (** recompute one node from the current value array; dangling fanin
+          ids (negative or out of range) are the transfer's to interpret *)
+  equal : 'v -> 'v -> bool;
+}
+
+exception Diverged
+(** The relaxation count exceeded [fuel]: the spec is not monotone over a
+    finite lattice (or the fuel was set too tight). *)
+
+val fixpoint : ?fuel:int -> Netlist.t -> 'v spec -> 'v array
+(** Least fixed point of [spec] over the netlist.  [fuel] bounds the total
+    number of node relaxations (default [max 10_000 (64 * size)]).
+    @raise Diverged when the bound is hit. *)
+
+(** {2 Shared traversals}
+
+    The exact traversal code {!Vpga_verify.Lint} historically owned, made
+    generic so lint and the analysis passes report identical provenance. *)
+
+val cyclic_sccs : n:int -> succ:(int -> int array) -> int list list
+(** Tarjan's strongly-connected components over nodes [0 .. n-1] with
+    successor function [succ], iterative so deep graphs cannot overflow
+    the stack.  Returns only the {e cyclic} components — size > 1, or a
+    single node with a self-edge — in the order Tarjan completes them,
+    each component in completion order. *)
+
+val reachable : n:int -> roots:int list -> next:(int -> int array) -> bool array
+(** Nodes reachable from [roots] following [next]; ids outside
+    [0 .. n-1] returned by [next] are ignored (dangling pins). *)

@@ -1,0 +1,13 @@
+(* The unit of pass-manager output: one pass's structured diagnostics plus
+   the counters it wants surfaced (ambient-trace names, so a traced flow
+   lands them in `vpga report` untouched). *)
+
+module Diag = Vpga_verify.Diag
+
+type report = {
+  name : string;  (* stable pass name, e.g. "constprop" *)
+  diags : Diag.t list;  (* sorted: errors, then warnings, then infos *)
+  counters : (string * float) list;  (* "analysis.*" counter names *)
+}
+
+let make name diags counters = { name; diags = Diag.sort diags; counters }

@@ -1,0 +1,115 @@
+(* Structural redundancy, read straight off the strashed AIG (lib/aig):
+   replaying the netlist through [Aig.of_netlist] maps every combinational
+   gate to a literal, so
+
+   - two gates with the same literal compute the same function of the
+     same inputs (a strash-equivalence class — duplicates past the first
+     are redundant);
+   - a gate whose literal is constant was folded away by construction
+     (x AND NOT x, and-with-0 chains, ...) — stronger than ternary
+     constant propagation, which treats reconvergent inputs
+     independently;
+   - a gate whose literal belongs to no root cone computes logic nothing
+     observes even though the *netlist* node may reach an output (e.g.
+     it feeds only gates the folding collapsed). *)
+
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Aig = Vpga_aig.Aig
+module Diag = Vpga_verify.Diag
+module Dataflow = Vpga_dataflow.Dataflow
+
+type result = {
+  bound : Aig.bound;
+  classes : int list list;
+      (* strash classes with >= 2 members, by ascending representative *)
+  folded_const : int list;  (* non-[Const] gates with a constant literal *)
+  dead_cones : int list;  (* gates whose AIG node no root cone reaches *)
+}
+
+let is_gate (node : Netlist.node) =
+  match node.Netlist.kind with
+  | Kind.Input | Kind.Output | Kind.Dff | Kind.Const _ -> false
+  | _ -> true
+
+let analyze nl =
+  let bound = Aig.of_netlist nl in
+  let n = Netlist.size nl in
+  (* Group gates by literal, preserving ascending id order per class. *)
+  let by_lit = Hashtbl.create (max 16 n) in
+  let folded = ref [] in
+  for i = n - 1 downto 0 do
+    let node = Netlist.node nl i in
+    if is_gate node then begin
+      let lit = bound.Aig.node_lits.(i) in
+      Hashtbl.replace by_lit lit
+        (i :: Option.value ~default:[] (Hashtbl.find_opt by_lit lit));
+      if Aig.is_const (Aig.node_of lit) then folded := i :: !folded
+    end
+  done;
+  let classes = ref [] in
+  for i = 0 to n - 1 do
+    let node = Netlist.node nl i in
+    if is_gate node then
+      match Hashtbl.find_opt by_lit bound.Aig.node_lits.(i) with
+      | Some ((j :: _ :: _) as cls) when j = i -> classes := cls :: !classes
+      | _ -> ()
+  done;
+  (* Live AIG cone: nodes reachable from the root literals through AND
+     fanins.  A netlist gate whose literal's node is outside every cone
+     is logic the folding already proved unobservable. *)
+  let an = Aig.size bound.Aig.aig in
+  let live =
+    Dataflow.reachable ~n:an
+      ~roots:(List.map (fun (_, l) -> Aig.node_of l) bound.Aig.roots)
+      ~next:(fun v ->
+        if Aig.is_const v || Aig.is_pi bound.Aig.aig v then [||]
+        else
+          let a, b = Aig.fanins bound.Aig.aig v in
+          [| Aig.node_of a; Aig.node_of b |])
+  in
+  let dead = ref [] in
+  for i = n - 1 downto 0 do
+    let node = Netlist.node nl i in
+    if is_gate node then begin
+      let v = Aig.node_of bound.Aig.node_lits.(i) in
+      if (not (Aig.is_const v)) && not live.(v) then dead := i :: !dead
+    end
+  done;
+  {
+    bound;
+    classes = List.rev !classes;
+    folded_const = !folded;
+    dead_cones = !dead;
+  }
+
+let run nl =
+  let r = analyze nl in
+  let diags = ref [] in
+  let dup_nodes =
+    List.concat_map (function _ :: rest -> rest | [] -> []) r.classes
+  in
+  if dup_nodes <> [] then
+    diags :=
+      Diag.warning ~nodes:dup_nodes "strash-dup"
+        "%d gate(s) duplicate the logic of an earlier gate (%d \
+         strash-equivalence class(es))"
+        (List.length dup_nodes) (List.length r.classes)
+      :: !diags;
+  if r.folded_const <> [] then
+    diags :=
+      Diag.warning ~nodes:r.folded_const "aig-const"
+        "%d gate(s) fold to a constant under structural hashing"
+        (List.length r.folded_const)
+      :: !diags;
+  if r.dead_cones <> [] then
+    diags :=
+      Diag.info ~nodes:r.dead_cones "dead-cone"
+        "%d gate(s) compute logic no output or flop cone observes"
+        (List.length r.dead_cones)
+      :: !diags;
+  Pass.make "redundancy" !diags
+    [
+      ( "analysis.redundant_nodes",
+        float_of_int (List.length dup_nodes + List.length r.folded_const) );
+    ]

@@ -1,0 +1,118 @@
+(* The implied-constant / redundancy simplifier, gated by the existing
+   SAT CEC.
+
+   Every rewrite must be provable by [Cec.check], which reasons by flop
+   correspondence (flop Q pins are free pseudo-inputs).  That restricts
+   the simplifier to *combinationally* justified rewrites:
+
+   - gates whose AIG literal is constant (structural-hashing constant
+     folding catches and-with-0, x AND NOT x, ...);
+   - gates whose ternary value is constant with flops treated as free
+     two-valued inputs ([flop_init = Def] — masking like AND(x, 0));
+   - strash-duplicate gates, rewired to the class representative (or to
+     an inverter of it when only the complement exists).
+
+   Constants that hold only on the reset-reachable state space (what
+   {!Constprop} reports with [flop_init = C0], e.g. a gate fed by a flop
+   that never leaves reset) are deliberately NOT rewritten: they are
+   sequentially sound but combinationally wrong, so the CEC gate would —
+   correctly — refuse to certify them.  They stay diagnostics. *)
+
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Aig = Vpga_aig.Aig
+module Cec = Vpga_verify.Cec
+module Diag = Vpga_verify.Diag
+
+type stats = {
+  constants : int;  (* gates rewritten to a [Const] *)
+  duplicates : int;  (* gates rewired to a strash representative *)
+  inverters : int;  (* complement-class reuses (an [Inv] was inserted) *)
+}
+
+let total s = s.constants + s.duplicates + s.inverters
+
+let run nl =
+  let bound = Aig.of_netlist nl in
+  let lits = bound.Aig.node_lits in
+  let comb = Ternary.values ~flop_init:Ternary.Def nl in
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let const_ids : (bool, int) Hashtbl.t = Hashtbl.create 2 in
+  let constants = ref 0 and duplicates = ref 0 and inverters = ref 0 in
+  let nl' =
+    Netlist.map_combinational nl (fun dst node fi ->
+        let id = node.Netlist.id in
+        let mk_const b =
+          match Hashtbl.find_opt const_ids b with
+          | Some c -> c
+          | None ->
+              let c = Netlist.gate dst (Kind.Const b) [||] in
+              Hashtbl.add const_ids b c;
+              c
+        in
+        let lit = lits.(id) in
+        let const_of_lit =
+          if lit = Aig.const0 then Some false
+          else if lit = Aig.const1 then Some true
+          else None
+        in
+        let proven_const =
+          match const_of_lit with
+          | Some _ as c -> c
+          | None -> Ternary.const comb.(id)
+        in
+        match (node.Netlist.kind, proven_const) with
+        | Kind.Const b, _ -> mk_const b
+        | _, Some b ->
+            incr constants;
+            mk_const b
+        | _, None -> (
+            match Hashtbl.find_opt seen lit with
+            | Some rep ->
+                incr duplicates;
+                rep
+            | None -> (
+                match Hashtbl.find_opt seen (Aig.not_ lit) with
+                | Some rep ->
+                    incr inverters;
+                    let inv = Netlist.gate dst Kind.Inv [| rep |] in
+                    Hashtbl.replace seen lit inv;
+                    inv
+                | None ->
+                    let g =
+                      Netlist.gate ?name:node.Netlist.name dst
+                        node.Netlist.kind fi
+                    in
+                    Hashtbl.replace seen lit g;
+                    g)))
+  in
+  (nl', { constants = !constants; duplicates = !duplicates; inverters = !inverters })
+
+(* Simplify and certify: the rewritten netlist is returned only with a
+   CEC proof of equivalence in hand; a refuted rewrite (which would be a
+   simplifier bug) keeps the original netlist and reports an error. *)
+let checked nl =
+  let nl', stats = run nl in
+  if total stats = 0 then
+    (nl, stats, [ Diag.info "simplify-noop" "no combinationally provable rewrites" ])
+  else
+    match Cec.check nl nl' with
+    | Cec.Equivalent ->
+        ( nl',
+          stats,
+          [
+            Diag.info "simplified"
+              "%d constant(s), %d duplicate(s), %d inverter-share(s) \
+               rewritten; CEC-proven equivalent"
+              stats.constants stats.duplicates stats.inverters;
+          ] )
+    | Cec.Inequivalent { Cec.root; root_is_flop; _ } ->
+        ( nl,
+          { constants = 0; duplicates = 0; inverters = 0 },
+          [
+            Diag.error "simplify-unsound"
+              "simplifier rewrite refuted by CEC (%s %d differs); keeping \
+               the original netlist"
+              (if root_is_flop then "flop D pin" else "output")
+              root;
+          ] )

@@ -1,0 +1,48 @@
+(* X-propagation: which nodes can still be undefined when flops start
+   uninitialized (and undriven pins float)?  Same forward ternary fixed
+   point as constant propagation, but flops seed at X instead of the
+   reset constant, so a node is tainted exactly when some X source
+   reaches it unmasked — AND(X, 0) stays 0, AND(X, 1) is X.  Tainted
+   primary outputs are the actionable finding: their first-cycle value
+   depends on power-up state the design never initializes. *)
+
+module Netlist = Vpga_netlist.Netlist
+module Kind = Vpga_netlist.Kind
+module Diag = Vpga_verify.Diag
+
+type result = {
+  values : Ternary.v array;
+  x_nodes : int list;  (* every X-tainted node, ascending id *)
+  x_outputs : int list;  (* X-tainted primary outputs *)
+}
+
+let analyze nl =
+  let values = Ternary.values ~flop_init:Ternary.Und nl in
+  let x_nodes = ref [] and x_outputs = ref [] in
+  for i = Netlist.size nl - 1 downto 0 do
+    if values.(i) = Ternary.Und then begin
+      x_nodes := i :: !x_nodes;
+      if (Netlist.node nl i).Netlist.kind = Kind.Output then
+        x_outputs := i :: !x_outputs
+    end
+  done;
+  { values; x_nodes = !x_nodes; x_outputs = !x_outputs }
+
+let run nl =
+  let r = analyze nl in
+  let diags = ref [] in
+  if r.x_outputs <> [] then
+    diags :=
+      Diag.warning ~nodes:r.x_outputs "x-output"
+        "%d primary output(s) depend on uninitialized state"
+        (List.length r.x_outputs)
+      :: !diags;
+  if r.x_nodes <> [] then
+    diags :=
+      Diag.info ~nodes:r.x_nodes "x-taint"
+        "%d node(s) are reachable by an unmasked X from uninitialized \
+         flops or undriven pins"
+        (List.length r.x_nodes)
+      :: !diags;
+  Pass.make "xprop" !diags
+    [ ("analysis.x_nodes", float_of_int (List.length r.x_nodes)) ]

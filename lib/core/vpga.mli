@@ -64,6 +64,25 @@ module Report = Vpga_flow.Report
 module Export = Vpga_flow.Export
 module Diag = Vpga_verify.Diag
 module Lint = Vpga_verify.Lint
+
+module Dataflow = Vpga_dataflow.Dataflow
+(** Generic forward/backward fixed-point dataflow engine plus the shared
+    graph traversals (Tarjan SCCs, cone reachability). *)
+
+module Analysis = Vpga_analysis.Analysis
+(** Static-analysis pass manager: constant propagation, X-propagation,
+    structural redundancy, fanout/depth shape, CEC-gated simplification. *)
+
+module Ternary = Vpga_analysis.Ternary
+module Constprop = Vpga_analysis.Constprop
+module Xprop = Vpga_analysis.Xprop
+module Redund = Vpga_analysis.Redund
+module Fanout_analysis = Vpga_analysis.Fanout
+module Simplify = Vpga_analysis.Simplify
+
+module Ownership = Vpga_analysis.Ownership
+(** Static region-ownership sanitizer for region-parallel refinement. *)
+
 module Sat = Vpga_verify.Sat
 module Cnf = Vpga_verify.Cnf
 module Sweep = Vpga_verify.Sweep
@@ -82,14 +101,17 @@ val classify_functions : unit -> S3.census
 
 val run_flow :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> ?policy:Policy.t ->
-  ?trace:Trace.t -> ?jobs:int -> Arch.t -> Netlist.t -> Flow.pair
+  ?trace:Trace.t -> ?jobs:int -> ?analyze:bool -> Arch.t -> Netlist.t ->
+  Flow.pair
 (** Both flows (ASIC-style a, packed-array b) on one architecture.
     [verify] selects the verification level (default {!Flow.Fast});
     [policy] the retry-with-escalation policy (default
     {!Policy.default}); [trace] (default disabled) records stage spans
     and inner-loop counters — see {!Obs}; [jobs] (default 1) caps the
     worker domains for region-parallel refinement — results are
-    identical for any value. *)
+    identical for any value; [analyze] (default false) runs the static
+    dataflow analyses and arms the region-ownership sanitizer — see
+    {!Analysis} and {!Ownership}. *)
 
 val compare_architectures :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> Netlist.t ->

@@ -31,6 +31,7 @@ val run_tasks :
   ?verify:Flow.verify ->
   ?policy:Vpga_resil.Policy.t ->
   ?traced:bool ->
+  ?analyze:bool ->
   ?designs:(string * Vpga_netlist.Netlist.t) list ->
   scale ->
   task_report list
@@ -46,7 +47,11 @@ val run_tasks :
     index — returned in [t_trace]; merge them with
     {!Vpga_obs.Export.chrome} for one timeline of the whole sweep.
     Tracing does not change results: every recorded quantity derives
-    from the task's own deterministic run. *)
+    from the task's own deterministic run.
+
+    [analyze] is forwarded to each {!Flow.run}: the static dataflow
+    analyses plus the region-ownership sanitizer, detection-only, so it
+    too changes no results. *)
 
 val run_tasks_with_stats :
   ?seed:int ->
@@ -54,6 +59,7 @@ val run_tasks_with_stats :
   ?verify:Flow.verify ->
   ?policy:Vpga_resil.Policy.t ->
   ?traced:bool ->
+  ?analyze:bool ->
   ?designs:(string * Vpga_netlist.Netlist.t) list ->
   scale ->
   task_report list * Vpga_par.Pool.stats

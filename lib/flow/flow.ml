@@ -16,6 +16,8 @@ module Detail = Vpga_route.Detail
 module Sta = Vpga_timing.Sta
 module Power = Vpga_timing.Power
 module Lint = Vpga_verify.Lint
+module Analysis = Vpga_analysis.Analysis
+module Ownership = Vpga_analysis.Ownership
 module Cec = Vpga_verify.Cec
 module Phys = Vpga_verify.Phys
 module Diag = Vpga_verify.Diag
@@ -68,7 +70,7 @@ let check_structure ~stage nl =
 let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     ?anneal_iterations ?(refine = true) ?(use_criticality = true)
     ?(jobs = 1) ?(verify = Fast) ?(policy = Policy.default) ?log
-    ?(trace = Trace.null) ?(trace_labels = true) arch nl =
+    ?(trace = Trace.null) ?(trace_labels = true) ?(analyze = false) arch nl =
   let design = Netlist.design_name nl in
   let log = match log with Some l -> l | None -> Log.create () in
   (* Every stage boundary opens a span on [trace]; [Trace.with_span] also
@@ -198,6 +200,16 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
       structure "verify:input" nl;
       if vfast then
         guard "verify:lint" (fun () -> Lint.check ~stage:"verify:lint" nl));
+  (* Static dataflow analysis over the source netlist: detection only
+     (no simplification inside the flow — rewrites belong to explicit
+     [vpga analyze --simplify] invocations), counters onto the ambient
+     trace, errors fatal like any other verification gate. *)
+  if analyze then
+    span "analyze:input" (fun () ->
+        let a = Analysis.run ~simplify:false nl in
+        Analysis.emit a;
+        guard "analyze:input" (fun () ->
+            Diag.fail_on_errors ~stage:"analyze:input" (Analysis.diags a)));
   let gate_count = Stats.gate_count nl in
   (* Front-end: map, compact, buffer. *)
   let mapped = span "map" (fun () -> Techmap.map arch nl) in
@@ -463,25 +475,48 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
   in
   (* The paper's packing <-> physical-synthesis iteration: refine tile
      assignments under the criticality-weighted wirelength cost. *)
-  if refine then
+  if refine then begin
+    (* Region grid: a fixed function of the array dims (never of [jobs],
+       which only bounds worker domains), so refinement is reproducible
+       at any parallelism.  Small arrays stay on the single-region
+       reference walk. *)
+    let regions =
+      if min q.Quadrisect.cols q.Quadrisect.rows >= 12 then 2 else 1
+    in
+    (* Static ownership proof before the walks run, then the dynamic
+       guard ([sanitize]) inside them: a decomposition bug surfaces as a
+       structured diagnostic here, or as an [Occupancy.Race] at the
+       faulting write instead of silent corruption. *)
+    if analyze then
+      span "analyze:regions" (fun () ->
+          let r = Ownership.check ~regions q in
+          Trace.emit "analysis.sanitizer_checks" (float_of_int r.Ownership.checks);
+          guard "analyze:regions" (fun () ->
+              Diag.fail_on_errors ~stage:"analyze:regions" r.Ownership.diags));
     span "pack:refine" (fun () ->
-        (* Region grid: a fixed function of the array dims (never of
-           [jobs], which only bounds worker domains), so refinement is
-           reproducible at any parallelism.  Small arrays stay on the
-           single-region reference walk. *)
-        let regions =
-          if min q.Quadrisect.cols q.Quadrisect.rows >= 12 then 2 else 1
-        in
         try
           ignore
             (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
                ~iterations:(min 400_000 (60 * Netlist.size buffered))
-               ~jobs ~regions q pl_b)
-        with Vpga_pack.Refine.Infeasible msg ->
-          Fail.raise_
-            (Fail.make ~stage:"pack:refine" ~design ~attempts:1
-               ~diags:[ Diag.error "pack-infeasible" "%s" msg ]
-               ~events:(Log.strings log) ()));
+               ~jobs ~regions ~sanitize:analyze q pl_b)
+        with
+        | Vpga_pack.Refine.Infeasible msg ->
+            Fail.raise_
+              (Fail.make ~stage:"pack:refine" ~design ~attempts:1
+                 ~diags:[ Diag.error "pack-infeasible" "%s" msg ]
+                 ~events:(Log.strings log) ())
+        | Vpga_plb.Occupancy.Race { owner; writer } ->
+            Fail.raise_
+              (Fail.make ~stage:"pack:refine" ~design ~attempts:1
+                 ~diags:
+                   [
+                     Diag.error "region-race"
+                       "cross-region occupancy write: tile owned by region \
+                        %d mutated by region %d's walk"
+                       owner writer;
+                   ]
+                 ~events:(Log.strings log) ()))
+  end;
   phys "verify:placement(b)" (fun () -> Phys.check_placement pl_b);
   let routed_b, vias_b = span "route:b" (fun () -> route_stage "b" pl_b) in
   phys "verify:routing(b)" (fun () -> Phys.check_routing routed_b pl_b);

@@ -65,6 +65,7 @@ val run :
   ?log:Vpga_resil.Log.t ->
   ?trace:Vpga_obs.Trace.t ->
   ?trace_labels:bool ->
+  ?analyze:bool ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -107,6 +108,18 @@ val run :
     the trace; pass [false] when the trace is collected for stage timings
     (from-scratch labeling can dwarf the compaction DP on large
     designs).
+
+    [analyze] (default false) runs the static dataflow analyses
+    ({!Vpga_analysis.Analysis}) over the source netlist — constant
+    propagation, X-propagation, structural redundancy, fanout/depth
+    shape — publishing [analysis.*] counters to the ambient trace, plus
+    the region-ownership sanitizer around the packing refinement: the
+    static proof ({!Vpga_analysis.Ownership.check}) before the region
+    walks run, and the dynamic cross-region write guard
+    ([Refine.run ~sanitize]) inside them.  Detection only: analysis
+    never rewrites the netlist inside the flow, and the sanitizer
+    changes no refinement verdicts, so results are identical with it on
+    or off.  Analysis errors abort the flow like any verification gate.
 
     @raise Vpga_resil.Fail.Stage_failure when an enabled verification
     check finds a violation or a stage exhausts its retry policy; the

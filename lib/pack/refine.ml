@@ -372,8 +372,24 @@ let walk ctx ~rng ~iterations =
   end;
   !accepted
 
+(* Ownership stamping for the dynamic race sanitizer: every tile of the
+   walk's occupancy array gets its owning region, the walk's cache gets
+   the region it writes for.  Stamps go on *after* [make_ctx] populated
+   the tiles, so only walk mutations are guarded.  A full-die walk (the
+   sequential path and the boundary pass) legitimately writes anywhere,
+   so it is stamped as one region. *)
+let arm_full ctx =
+  Occupancy.set_writer ctx.cache 0;
+  Array.iter (fun o -> Occupancy.set_owner o 0) ctx.occ
+
+let arm_region ctx ~grid q r =
+  Occupancy.set_writer ctx.cache r;
+  Array.iteri
+    (fun t o -> Occupancy.set_owner o (Quadrisect.region_of_tile ~regions:grid q t))
+    ctx.occ
+
 let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
-    ~seed q pl =
+    ?(sanitize = false) ~seed q pl =
   if jobs < 1 then invalid_arg "Refine.run: jobs must be positive";
   if regions < 1 then invalid_arg "Refine.run: regions must be positive";
   let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
@@ -459,6 +475,10 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
       Vpga_obs.Trace.emit "refine.region_moves" (float_of_int region);
       Vpga_obs.Trace.emit "refine.boundary_moves" (float_of_int boundary)
     in
+    let emit_guards checks =
+      if sanitize then
+        Vpga_obs.Trace.emit "analysis.sanitizer_checks" (float_of_int checks)
+    in
     if g = 1 then begin
       (* Single region: the sequential reference walk, bit-identical to
          the original implementation. *)
@@ -467,12 +487,14 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
           ~bounds:(0, 0, sh.cols, sh.rows)
           ~ids:packed ~tile_of:q.Quadrisect.tile_of_node ~view:pl
       in
+      if sanitize then arm_full ctx;
       let initial_cost = ctx.total in
       let rng = Random.State.make [| seed |] in
       let accepted = walk ctx ~rng ~iterations in
       emit_occupancy (Occupancy.fits_calls ctx.cache)
         (Occupancy.cache_hits ctx.cache);
       emit_moves iterations 0;
+      emit_guards (Occupancy.guard_checks ctx.cache);
       {
         moves = iterations;
         accepted;
@@ -537,6 +559,7 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
               ~bounds:(Quadrisect.region_bounds ~regions:g q r)
               ~ids ~tile_of ~view
           in
+          if sanitize then arm_region ctx ~grid:g q r;
           let rng = Random.State.make [| seed; r |] in
           let accepted = walk ctx ~rng ~iterations:share.(r) in
           Some (ctx, accepted)
@@ -554,7 +577,7 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
          disjoint id sets, so order only matters for reproducibility, not
          for the outcome). *)
       let accepted = ref 0 in
-      let fits = ref 0 and hits = ref 0 in
+      let fits = ref 0 and hits = ref 0 and guards = ref 0 in
       List.iter
         (function
           | None -> ()
@@ -562,6 +585,7 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
               accepted := !accepted + acc;
               fits := !fits + Occupancy.fits_calls ctx.cache;
               hits := !hits + Occupancy.cache_hits ctx.cache;
+              guards := !guards + Occupancy.guard_checks ctx.cache;
               Array.iter
                 (fun id ->
                   q.Quadrisect.tile_of_node.(id) <- ctx.tile_of.(id);
@@ -577,12 +601,14 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
           ~bounds:(0, 0, sh.cols, sh.rows)
           ~ids:packed ~tile_of:q.Quadrisect.tile_of_node ~view:pl
       in
+      if sanitize then arm_full bctx;
       let rng = Random.State.make [| seed |] in
       let bacc = walk bctx ~rng ~iterations:boundary_iters in
       emit_occupancy
         (!fits + Occupancy.fits_calls bctx.cache)
         (!hits + Occupancy.cache_hits bctx.cache);
       emit_moves region_total boundary_iters;
+      emit_guards (!guards + Occupancy.guard_checks bctx.cache);
       {
         moves = iterations;
         accepted = !accepted + bacc;

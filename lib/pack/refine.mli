@@ -38,6 +38,7 @@ val run :
   ?criticality:float array ->
   ?jobs:int ->
   ?regions:int ->
+  ?sanitize:bool ->
   seed:int ->
   Quadrisect.t ->
   Vpga_place.Placement.t ->
@@ -48,8 +49,19 @@ val run :
     selects the region grid; with the default the run is the sequential
     reference walk, bit-identical to the historical implementation.
     [jobs] (default 1) bounds the worker domains used for region walks;
-    it affects wall time only, never results.  Counters emitted on the
-    ambient {!Vpga_obs.Trace}: [pack.fits_calls], [pack.fits_cache_hits],
-    [refine.region_moves], [refine.boundary_moves] (single-region runs
-    count every move as a region move).
-    @raise Infeasible if the initial packing is infeasible. *)
+    it affects wall time only, never results.
+
+    [sanitize] (default false) arms the dynamic region-ownership guard:
+    every occupancy tile is stamped with its owning region and every
+    walk's cache with the region it writes for, so a cross-region
+    mutation raises {!Vpga_plb.Occupancy.Race} at the faulting write
+    instead of corrupting a neighbouring walk's state.  Stamping changes
+    no verdicts — results stay bit-identical to an unsanitized run.
+
+    Counters emitted on the ambient {!Vpga_obs.Trace}:
+    [pack.fits_calls], [pack.fits_cache_hits], [refine.region_moves],
+    [refine.boundary_moves] (single-region runs count every move as a
+    region move), and [analysis.sanitizer_checks] when sanitizing.
+    @raise Infeasible if the initial packing is infeasible.
+    @raise Vpga_plb.Occupancy.Race when [sanitize] catches a
+    cross-region write. *)

@@ -30,7 +30,12 @@ type cache = {
   min_slots : int array;
   mutable fits_calls : int;
   mutable cache_hits : int;
+  mutable writer : int;
+      (* region id this cache's walk mutates for, or -1: sanitizer off *)
+  mutable guard_checks : int;
 }
+
+exception Race of { owner : int; writer : int }
 
 let create_cache arch =
   let demands =
@@ -55,11 +60,16 @@ let create_cache arch =
     min_slots;
     fits_calls = 0;
     cache_hits = 0;
+    writer = -1;
+    guard_checks = 0;
   }
 
 let cache_arch c = c.arch
 let fits_calls c = c.fits_calls
 let cache_hits c = c.cache_hits
+let set_writer c r = c.writer <- r
+let writer c = c.writer
+let guard_checks c = c.guard_checks
 
 type slot = { s_item : Packer.item; s_alt : Vector.t }
 
@@ -72,6 +82,7 @@ type t = {
   mutable min_slots : int;
   mutable slots : slot list;
   mutable signature : int;
+  mutable owner : int; (* region id owning this tile, or -1: unstamped *)
 }
 
 let create cache =
@@ -84,9 +95,25 @@ let create cache =
     min_slots = 0;
     slots = [];
     signature = 0;
+    owner = -1;
   }
 
 let arch t = t.cache.arch
+let cache t = t.cache
+let set_owner t r = t.owner <- r
+let owner t = t.owner
+
+(* Every mutation passes through here.  Armed (both stamps set), a
+   mutation from a walk whose cache writes for region [writer] against a
+   tile owned by another region is a cross-region write: the exact bug
+   class the region decomposition must exclude.  Fail fast, loudly. *)
+let guard t =
+  let c = t.cache in
+  if c.writer >= 0 && t.owner >= 0 then begin
+    c.guard_checks <- c.guard_checks + 1;
+    if t.owner <> c.writer then
+      raise (Race { owner = t.owner; writer = c.writer })
+  end
 let count t = t.outputs
 let is_empty t = t.slots = []
 let items t = List.map (fun s -> s.s_item) t.slots
@@ -226,6 +253,7 @@ let bump t (it : Packer.item) =
   end
 
 let add t it =
+  guard t;
   let c = t.cache in
   if not (counters_ok t it) then false
   else if pure_flop it then begin
@@ -264,6 +292,7 @@ let add t it =
               true)
 
 let remove t it =
+  guard t;
   let rec go acc = function
     | [] -> invalid_arg "Occupancy.remove: item not present"
     | s :: rest when item_equal s.s_item it ->

@@ -22,6 +22,12 @@ type cache
 (** The fits memo plus query statistics, shared by every tile of one
     packing run.  Single-domain use only (one flow task = one domain). *)
 
+exception Race of { owner : int; writer : int }
+(** A mutation crossed a region boundary while the ownership sanitizer
+    was armed: a tile stamped [owner] was written through a cache
+    stamped [writer <> owner].  In the region-parallel refinement this
+    is a would-be data race, so it aborts immediately. *)
+
 val create_cache : Arch.t -> cache
 val cache_arch : cache -> Arch.t
 
@@ -31,11 +37,31 @@ val fits_calls : cache -> int
 val cache_hits : cache -> int
 (** Queries answered from the config-multiset memo (tier 3 hits). *)
 
+val set_writer : cache -> int -> unit
+(** Arm the ownership sanitizer for mutations through this cache: they
+    must target tiles owned by the given region.  [-1] (the default)
+    disarms the guard. *)
+
+val writer : cache -> int
+
+val guard_checks : cache -> int
+(** Mutations checked while the sanitizer was armed (both the cache's
+    writer and the tile's owner stamped). *)
+
 type t
 (** One tile's occupancy.  Mutable; not thread-safe. *)
 
 val create : cache -> t
 val arch : t -> Arch.t
+
+val cache : t -> cache
+(** The shared cache this tile was created from. *)
+
+val set_owner : t -> int -> unit
+(** Stamp the region that owns this tile.  [-1] (the default) exempts
+    the tile from the ownership guard. *)
+
+val owner : t -> int
 
 val count : t -> int
 (** Resident items. *)
@@ -59,10 +85,14 @@ val query_replacing : t -> without:Packer.item -> Packer.item -> bool
 val add : t -> Packer.item -> bool
 (** Commit [it] if it fits (same predicate as {!query}); returns whether
     it was added.  May recommit residents to different demand
-    alternatives when the backtracking tier finds the only witness. *)
+    alternatives when the backtracking tier finds the only witness.
+    @raise Race when the armed ownership guard detects a cross-region
+    write. *)
 
 val remove : t -> Packer.item -> unit
 (** Remove one resident equal to [it] (config, pins, flop).  The
     remaining committed assignment stays valid, so a subsequent
     [add t it] is guaranteed to succeed (undo).
-    @raise Invalid_argument when no such resident exists. *)
+    @raise Invalid_argument when no such resident exists.
+    @raise Race when the armed ownership guard detects a cross-region
+    write. *)

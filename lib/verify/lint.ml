@@ -16,6 +16,7 @@
 
 module Netlist = Vpga_netlist.Netlist
 module Kind = Vpga_netlist.Kind
+module Dataflow = Vpga_dataflow.Dataflow
 
 let in_range nl f = f >= 0 && f < Netlist.size nl
 
@@ -26,93 +27,21 @@ let comb_fanins nl n =
   | Kind.Dff -> [||]
   | _ -> Array.of_list (List.filter (in_range nl) (Array.to_list n.Netlist.fanins))
 
-(* Tarjan's strongly-connected components over the combinational edge graph,
-   iterative so deep netlists cannot overflow the stack.  Returns only the
-   cyclic SCCs: components of size > 1, or single nodes with a self-edge. *)
+(* Combinational loops are the cyclic SCCs of the combinational edge graph.
+   The iterative Tarjan traversal itself now lives in {!Dataflow} (shared
+   with the analysis passes); the successor function here reproduces the
+   historical edge set exactly, so reported components and their order are
+   unchanged. *)
 let combinational_sccs nl =
-  let n = Netlist.size nl in
-  let index = Array.make n (-1) in
-  let lowlink = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let stack = ref [] in
-  let next_index = ref 0 in
-  let sccs = ref [] in
-  let visit root =
-    (* Explicit DFS stack: (node, fanins, next fanin position). *)
-    let work = ref [] in
-    let push v =
-      index.(v) <- !next_index;
-      lowlink.(v) <- !next_index;
-      incr next_index;
-      stack := v :: !stack;
-      on_stack.(v) <- true;
-      work := (v, comb_fanins nl (Netlist.node nl v), ref 0) :: !work
-    in
-    push root;
-    while !work <> [] do
-      match !work with
-      | [] -> ()
-      | (v, fis, pos) :: rest ->
-          if !pos < Array.length fis then begin
-            let w = fis.(!pos) in
-            incr pos;
-            if index.(w) < 0 then push w
-            else if on_stack.(w) then
-              lowlink.(v) <- min lowlink.(v) index.(w)
-          end
-          else begin
-            work := rest;
-            (match rest with
-            | (parent, _, _) :: _ ->
-                lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
-            | [] -> ());
-            if lowlink.(v) = index.(v) then begin
-              let rec pop acc =
-                match !stack with
-                | [] -> acc
-                | w :: tl ->
-                    stack := tl;
-                    on_stack.(w) <- false;
-                    if w = v then w :: acc else pop (w :: acc)
-              in
-              let comp = pop [] in
-              let cyclic =
-                match comp with
-                | [ w ] ->
-                    Array.exists (fun f -> f = w)
-                      (comb_fanins nl (Netlist.node nl w))
-                | _ -> List.length comp > 1
-              in
-              if cyclic then sccs := comp :: !sccs
-            end
-          end
-    done
-  in
-  for v = 0 to n - 1 do
-    if index.(v) < 0 then visit v
-  done;
-  List.rev !sccs
+  Dataflow.cyclic_sccs ~n:(Netlist.size nl)
+    ~succ:(fun v -> comb_fanins nl (Netlist.node nl v))
 
 (* Nodes from which some primary output is reachable, traversing fanins from
    the POs and crossing flop D edges (a flop that only feeds flops feeding a
    PO is alive). *)
 let live_cone nl =
-  let n = Netlist.size nl in
-  let live = Array.make n false in
-  let work = ref (Netlist.outputs nl) in
-  while !work <> [] do
-    match !work with
-    | [] -> ()
-    | i :: rest ->
-        work := rest;
-        if not live.(i) then begin
-          live.(i) <- true;
-          Array.iter
-            (fun f -> if in_range nl f && not live.(f) then work := f :: !work)
-            (Netlist.node nl i).Netlist.fanins
-        end
-  done;
-  live
+  Dataflow.reachable ~n:(Netlist.size nl) ~roots:(Netlist.outputs nl)
+    ~next:(fun i -> (Netlist.node nl i).Netlist.fanins)
 
 let duplicates names =
   let seen = Hashtbl.create 16 in
