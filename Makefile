@@ -14,9 +14,11 @@
 #   make perfdiff   re-run just the kernels and diff against the committed
 #                   BENCH_sweep.json; exits nonzero past TOLERANCE
 #                   (fractional, default 0.25)
+#   make stress     small fixed-seed defect-stress matrix: minimum channel
+#                   width + survival per (design, arch, defect rate)
 #   make check      the full pre-merge gate: build, test suite, the
-#                   static-analysis suite, then the kernel perf
-#                   regression diff at 25% tolerance
+#                   static-analysis suite, the defect-stress matrix, then
+#                   the kernel perf regression diff at 25% tolerance
 #   make trace      run one traced flow (alu / granular) and write
 #                   trace.json -- open it at https://ui.perfetto.dev or
 #                   summarize with `dune exec bin/vpga.exe -- report trace.json`
@@ -24,7 +26,7 @@
 JOBS ?=
 TOLERANCE ?=
 
-.PHONY: all build test verify faults obs analyze bench perfdiff check trace clean
+.PHONY: all build test verify faults obs analyze bench perfdiff stress check trace clean
 
 all: build test
 
@@ -56,10 +58,14 @@ bench:
 perfdiff:
 	dune exec bench/main.exe -- -perfdiff $(if $(TOLERANCE),-tolerance $(TOLERANCE),)
 
+stress:
+	dune exec bin/vpga.exe -- stress --rates 0,0.05 --maps 2 $(if $(JOBS),-j $(JOBS),)
+
 check:
 	dune build
 	dune build @runtest
 	dune build @analyze
+	$(MAKE) stress
 	$(MAKE) perfdiff TOLERANCE=0.25
 
 clean:

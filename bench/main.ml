@@ -10,7 +10,8 @@
    E1/E2 (S3 classification, Figure 2), E3 (full adder), E4 (configuration
    delay/area), E5 (compaction ablation), E6 (Table 1), E7 (Table 2),
    E8 (headline claims), E9 (configuration distribution), E10 (flop-rich
-   PLB variant), E11 (flow ablations), E12 (power), E13 (vias), E14 (routing styles). *)
+   PLB variant), E11 (flow ablations), E12 (power), E13 (vias), E14 (routing
+   styles), E15 (defect stress: minimum channel width vs defect rate). *)
 
 open Vpga_core.Vpga
 
@@ -49,6 +50,7 @@ let () =
 let sweep_seconds = ref 0.0
 let sweep_recovery = ref Recovery.zero
 let sweep_stages : (string * float) list ref = ref []
+let robustness : Minchan.report option ref = ref None
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -99,7 +101,17 @@ let reproduce_tables () =
   section "E13: Configuration-via accounting";
   Report.vias Format.std_formatter Experiments.Paper;
   section "E14: Regular vs custom routing (future work)";
-  Report.routing_styles Format.std_formatter Experiments.Paper
+  Report.routing_styles Format.std_formatter Experiments.Paper;
+  section "E15: Defect stress (minimum channel width vs defect rate)";
+  (* Test-scale designs: each Pareto cell re-routes its packing O(log w)
+     times per defect map, so paper-scale instances would dominate the
+     whole bench; the trend (W_min and survival vs rate, per arch) is the
+     tracked quantity, not absolute magnitudes. *)
+  let rep =
+    Minchan.stress ~seed:1 ~jobs:!jobs ~maps_per_rate:2 Experiments.Test
+  in
+  robustness := Some rep;
+  Format.printf "%a@." Minchan.pp_report rep
 
 (* ---- Bechamel micro-benchmarks: one per experiment/table kernel ---- *)
 
@@ -190,6 +202,11 @@ let bench_tests =
            let r = Pathfinder.route_placement (Lazy.force fixture_placed) in
            if r.Pathfinder.final_overflow = 0 then
              ignore (Detail.run r.Pathfinder.grid r.Pathfinder.routes)));
+    (* E15 kernel: the whole minimum-channel-width search (front-end once
+       plus the probe bisection) on the small ALU, defect-free *)
+    Test.make ~name:"minchan_alu8"
+      (Staged.stage (fun () ->
+           ignore (Minchan.search ~w_max:32 Arch.granular_plb (Lazy.force alu8))));
     (* FlowMap (exact max-flow labeling) on the ALU AIG *)
     Test.make ~name:"flowmap_labels_alu8"
       (Staged.stage (fun () ->
@@ -233,7 +250,7 @@ let write_json kernels =
   let oc = open_out !json_path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"vpga-bench-sweep/2\",\n";
+  out "  \"schema\": \"vpga-bench-sweep/3\",\n";
   out "  \"jobs\": %d,\n" !jobs;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"sweep_wall_s\": %.3f,\n" !sweep_seconds;
@@ -249,6 +266,9 @@ let write_json kernels =
         (if i = List.length !sweep_stages - 1 then "" else ","))
     !sweep_stages;
   out "  },\n";
+  (match !robustness with
+  | Some r -> out "  \"robustness\": %s,\n" (Minchan.json_report ~indent:"    " r)
+  | None -> ());
   out "  \"kernels_ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->

@@ -7,6 +7,7 @@
      vpga tables [-p]         Tables 1 and 2 plus the headline claims (E6-E8)
      vpga flow -d NAME -a ARCH  one design through one architecture
      vpga sweep [-p] [-j N]   fault-isolated sweep with a recovery summary
+     vpga stress [-p] [-j N]  minimum-channel-width search under defect maps
      vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages
      vpga analyze -d NAME [-a ARCH]  dataflow analyses over the stages
      vpga report FILE         per-stage summary of a Chrome trace file *)
@@ -30,7 +31,7 @@ let positive_int =
     match Arg.conv_parser Arg.int s with
     | Error _ as e -> e
     | Ok n when n < 1 ->
-        Error (`Msg (Printf.sprintf "expected a positive job count, got %d" n))
+        Error (`Msg (Printf.sprintf "expected a positive count, got %d" n))
     | Ok n -> Ok n
   in
   Arg.conv ~docv:"JOBS" (parse, Arg.conv_printer Arg.int)
@@ -270,6 +271,85 @@ let sweep_cmd =
       const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg
       $ verbose_flag $ analyze_flag)
 
+let stress_cmd =
+  let rates_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.02; 0.05; 0.10 ]
+      & info [ "rates" ] ~docv:"R,..."
+          ~doc:"Defect rates to sweep (comma-separated fractions).")
+  in
+  let maps_arg =
+    Arg.(
+      value & opt positive_int 3
+      & info [ "maps" ] ~docv:"N"
+          ~doc:"Seeded defect maps per nonzero rate (the defect-free point \
+                always runs one).")
+  in
+  let wmax_arg =
+    Arg.(
+      value & opt positive_int 64
+      & info [ "w-max" ] ~docv:"W"
+          ~doc:"Channel-capacity search ceiling; a map needing more is \
+                counted as a casualty.")
+  in
+  let dist_arg =
+    let dist =
+      Arg.enum [ ("uniform", Defect.Uniform); ("clustered", Defect.Clustered) ]
+    in
+    Arg.(
+      value & opt dist Defect.Uniform
+      & info [ "dist" ]
+          ~doc:"Defect distribution: uniform (independent sites) or \
+                clustered (wafer-style blobs).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the robustness block (BENCH_sweep.json schema) instead \
+                of the table.")
+  in
+  let design_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "d"; "design" ]
+          ~doc:"Restrict the sweep to one design (default: all four).")
+  in
+  let run paper seed jobs rates maps w_max dist json design =
+    let scale = scale_of paper in
+    let designs =
+      match design with
+      | None -> None
+      | Some name ->
+          (* reuse the flow commands' lookup, keeping the canonical name *)
+          ignore (design_of_name paper name);
+          Some
+            (List.filter
+               (fun (n, _) ->
+                 String.lowercase_ascii n = String.lowercase_ascii name)
+               (Experiments.designs scale))
+    in
+    let report =
+      Minchan.stress ~seed ~jobs ~dist ~rates ~maps_per_rate:maps ~w_max
+        ?designs scale
+    in
+    if json then print_string (Minchan.json_report report)
+    else Format.printf "%a@." Minchan.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Congestion-stress Pareto exploration: per (design x architecture \
+          x defect rate), binary-search the minimum routable channel width \
+          over seeded defect maps and report survival rate, W_min, \
+          wirelength, vias, worst slack and array area.  Deterministic at \
+          every $(b,--jobs) setting.")
+    Term.(
+      const run $ paper_flag $ seed_arg $ jobs_arg $ rates_arg $ maps_arg
+      $ wmax_arg $ dist_arg $ json_flag $ design_filter)
+
 let lint_cmd =
   let formal_flag =
     Arg.(
@@ -427,6 +507,7 @@ let () =
             tables_cmd;
             flow_cmd;
             sweep_cmd;
+            stress_cmd;
             lint_cmd;
             analyze_cmd;
             export_cmd;

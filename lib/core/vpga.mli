@@ -59,6 +59,7 @@ module Obs = Vpga_obs
 
 module Trace = Vpga_obs.Trace
 module Flow = Vpga_flow.Flow
+module Minchan = Vpga_flow.Minchan
 module Experiments = Vpga_flow.Experiments
 module Report = Vpga_flow.Report
 module Export = Vpga_flow.Export
@@ -93,6 +94,7 @@ module Policy = Vpga_resil.Policy
 module Recovery = Vpga_resil.Log
 module Retry = Vpga_resil.Retry
 module Inject = Vpga_resil.Inject
+module Defect = Vpga_resil.Defect
 
 (** {1 One-call entry points} *)
 

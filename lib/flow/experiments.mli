@@ -25,6 +25,13 @@ type task_report = {
           the sweep ran with [~traced:true] *)
 }
 
+val task_seed : seed:int -> string -> Vpga_plb.Arch.t -> int
+(** Per-task seed derived from the sweep seed and the task identity
+    (design name, architecture name) alone — never from submission order
+    or worker count — so any fan-out over tasks stays deterministic at
+    every [jobs] setting.  {!Minchan.stress} reuses it so a design's
+    placement is identical across defect rates. *)
+
 val run_tasks :
   ?seed:int ->
   ?jobs:int ->

@@ -22,6 +22,7 @@ module Cec = Vpga_verify.Cec
 module Phys = Vpga_verify.Phys
 module Diag = Vpga_verify.Diag
 module Fail = Vpga_resil.Fail
+module Defect = Vpga_resil.Defect
 module Policy = Vpga_resil.Policy
 module Log = Vpga_resil.Log
 module Retry = Vpga_resil.Retry
@@ -70,9 +71,18 @@ let check_structure ~stage nl =
 let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     ?anneal_iterations ?(refine = true) ?(use_criticality = true)
     ?(jobs = 1) ?(verify = Fast) ?(policy = Policy.default) ?log
-    ?(trace = Trace.null) ?(trace_labels = true) ?(analyze = false) arch nl =
+    ?(trace = Trace.null) ?(trace_labels = true) ?(analyze = false) ?defect
+    arch nl =
   let design = Netlist.design_name nl in
   let log = match log with Some l -> l | None -> Log.create () in
+  (* An empty defect map is the healthy fabric: normalize it away so the
+     no-defect flow stays bit-identical to the pre-defect-layer code
+     (shared full-track arrays, no dead-tile plumbing). *)
+  let defect =
+    match defect with Some d when Defect.is_empty d -> None | d -> d
+  in
+  let track_fn = Option.map Defect.tracks defect in
+  let dead_tile_fn = Option.map Defect.tile_dead defect in
   (* Every stage boundary opens a span on [trace]; [Trace.with_span] also
      installs the trace as the domain's ambient sink, so counters emitted
      deep inside the annealer / PathFinder / SAT / cut enumeration land in
@@ -335,7 +345,7 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     in
     let rec go attempt capacity =
       let routed =
-        Pathfinder.route_placement ?capacity
+        Pathfinder.route_placement ?capacity ?tracks:track_fn
           ~max_iterations:(iterations_of attempt) pl
       in
       let escalate reason =
@@ -433,7 +443,10 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     span "pack:quadrisect" @@ fun () ->
     let stage = "pack:quadrisect" in
     let rec go attempt utilization =
-      match Quadrisect.legalize_result ~utilization ~criticality:crit arch pl with
+      match
+        Quadrisect.legalize_result ~utilization ~criticality:crit
+          ?dead_tile:dead_tile_fn arch pl
+      with
       | Ok q -> q
       | Error fe ->
           let reason = Quadrisect.fit_error_to_string fe in
@@ -459,7 +472,16 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     in
     go 0 policy.Policy.pack_utilization
   in
-  phys "verify:packing" (fun () -> Phys.check_packing q buffered);
+  (* One precomputed dead-tile view at the final packing's dims, shared
+     by the checker and the refinement loop. *)
+  let dead_pred =
+    Option.map
+      (fun d ->
+        Defect.dead_pred d ~cols:q.Quadrisect.cols ~rows:q.Quadrisect.rows)
+      defect
+  in
+  phys "verify:packing" (fun () ->
+      Phys.check_packing ?dead_tile:dead_pred q buffered);
   let pl_b =
     span "pack:snap" (fun () ->
         let side = sqrt arch.Arch.tile_area in
@@ -498,7 +520,7 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
           ignore
             (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
                ~iterations:(min 400_000 (60 * Netlist.size buffered))
-               ~jobs ~regions ~sanitize:analyze q pl_b)
+               ~jobs ~regions ~sanitize:analyze ?dead_tile:dead_pred q pl_b)
         with
         | Vpga_pack.Refine.Infeasible msg ->
             Fail.raise_

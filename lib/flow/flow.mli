@@ -66,6 +66,7 @@ val run :
   ?trace:Vpga_obs.Trace.t ->
   ?trace_labels:bool ->
   ?analyze:bool ->
+  ?defect:Vpga_resil.Defect.t ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -120,6 +121,14 @@ val run :
     never rewrites the netlist inside the flow, and the sanitizer
     changes no refinement verdicts, so results are identical with it on
     or off.  Analysis errors abort the flow like any verification gate.
+
+    [defect] (default none) threads a manufacturing-defect map
+    ({!Vpga_resil.Defect}) through the physical stages: legalization and
+    refinement treat dead tiles as zero-capacity, both routing stages
+    price dead boundaries unroutable and negotiate around derated ones,
+    detailed routing skips dead tracks, and the physical checkers verify
+    no artifact uses a defective resource.  An empty map is normalized
+    away, so results are bit-identical to a run without the argument.
 
     @raise Vpga_resil.Fail.Stage_failure when an enabled verification
     check finds a violation or a stage exhausts its retry policy; the

@@ -79,7 +79,7 @@ type work_item = {
   crit : float;
 }
 
-let legalize_result ?(utilization = 0.9) ?criticality arch pl =
+let legalize_result ?(utilization = 0.9) ?criticality ?dead_tile arch pl =
   let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
   let n = Netlist.size nl in
   let crit id = match criticality with None -> 0.0 | Some c -> c.(id) in
@@ -194,6 +194,46 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
     let tile_w = pl.Placement.die_w /. float_of_int cols in
     let tile_h = pl.Placement.die_h /. float_of_int rows in
     let tile_index c r = (r * cols) + c in
+    (* Defective tiles at this discretization: excluded from the ledger's
+       aggregate capacity and marked zero-capacity in the occupancy state,
+       so neither the balance drains nor the spill search ever target
+       them.  [None] (the healthy fabric) takes the unchanged fast path. *)
+    let dead =
+      match dead_tile with
+      | None -> None
+      | Some f ->
+          let dd = Array.init (cols * rows) (fun t -> f ~cols ~rows t) in
+          Vpga_obs.Trace.emit "pack.dead_tiles"
+            (float_of_int
+               (Array.fold_left (fun a d -> if d then a + 1 else a) 0 dd));
+          Some dd
+    in
+    let dead_pre =
+      match dead with
+      | None -> [||]
+      | Some dd ->
+          (* 2D prefix sums over a (cols+1) x (rows+1) grid. *)
+          let p = Array.make ((cols + 1) * (rows + 1)) 0 in
+          for r = 0 to rows - 1 do
+            for c = 0 to cols - 1 do
+              let d = if dd.((r * cols) + c) then 1 else 0 in
+              p.(((r + 1) * (cols + 1)) + c + 1) <-
+                p.((r * (cols + 1)) + c + 1)
+                + p.(((r + 1) * (cols + 1)) + c)
+                - p.((r * (cols + 1)) + c)
+                + d
+            done
+          done;
+          p
+    in
+    let dead_in (a, b, c, d) =
+      if Array.length dead_pre = 0 || c <= a || d <= b then 0
+      else
+        dead_pre.((d * (cols + 1)) + c)
+        - dead_pre.((b * (cols + 1)) + c)
+        - dead_pre.((d * (cols + 1)) + a)
+        + dead_pre.((b * (cols + 1)) + a)
+    in
     (* Recursive quadrisection: fills (node -> tile) assignments.
        Quadrant membership is an intrusive doubly-linked list over
        work-item indices (O(1) move), mirroring the prepend/remove order
@@ -272,7 +312,10 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
             let ri = res_index res in
             let cap_per_tile = Arch.Vector.get arch.Arch.capacity res in
             if cap_per_tile > 0 then
-              let cap q = tiles_in bounds.(q) * cap_per_tile in
+              let cap q =
+                max 0 (tiles_in bounds.(q) - dead_in bounds.(q))
+                * cap_per_tile
+              in
               let over q = dem.(q).(ri) - cap q in
               for q = 0 to 3 do
                 let users = ref [] in
@@ -335,6 +378,10 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
        multiset).  Ring offsets are precomputed per Chebyshev distance and
        shared by every spill search of this attempt. *)
     let occ = Array.init (cols * rows) (fun _ -> Occupancy.create cache) in
+    (match dead with
+    | None -> ()
+    | Some dd ->
+        Array.iteri (fun t d -> if d then Occupancy.set_dead occ.(t) true) dd);
     let unplaced = ref 0 in
     let max_ring = cols + rows in
     let rings = Array.make (max_ring + 1) [||] in
@@ -423,7 +470,25 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
     end
   in
   let start_dims =
-    max 2 (int_of_float (ceil (sqrt (float_of_int min_tiles))))
+    let base = max 2 (int_of_float (ceil (sqrt (float_of_int min_tiles)))) in
+    match dead_tile with
+    | None -> base
+    | Some f ->
+        (* Dead tiles shrink the effective array; start from dims whose
+           live tile count still meets the lower bound, so the growth
+           loop's 12 retries are not wasted rediscovering it. *)
+        let live dims =
+          let dead_count = ref 0 in
+          for t = 0 to (dims * dims) - 1 do
+            if f ~cols:dims ~rows:dims t then incr dead_count
+          done;
+          (dims * dims) - !dead_count
+        in
+        let rec grow dims =
+          if dims >= 64 || live dims >= min_tiles then dims
+          else grow (dims + max 1 (dims / 8))
+        in
+        grow base
   in
   let rec try_dims dims guard tried last_unplaced =
     if guard = 0 then
@@ -449,8 +514,8 @@ let legalize_result ?(utilization = 0.9) ?criticality arch pl =
   Vpga_obs.Trace.emit "pack.drain_moves" (float_of_int !drain_moves);
   result
 
-let legalize ?utilization ?criticality arch pl =
-  match legalize_result ?utilization ?criticality arch pl with
+let legalize ?utilization ?criticality ?dead_tile arch pl =
+  match legalize_result ?utilization ?criticality ?dead_tile arch pl with
   | Ok t -> t
   | Error fe -> failwith ("Quadrisect.legalize: " ^ fit_error_to_string fe)
 

@@ -38,6 +38,7 @@ val fit_error_to_string : fit_error -> string
 val legalize_result :
   ?utilization:float ->
   ?criticality:float array ->
+  ?dead_tile:(cols:int -> rows:int -> int -> bool) ->
   Vpga_plb.Arch.t ->
   Vpga_place.Placement.t ->
   (t, fit_error) result
@@ -45,11 +46,19 @@ val legalize_result :
     it if legalization needs room), then quadrisects.  [Error] reports the
     design, the dims tried, and the residual unplaced-item count when the
     design cannot fit even after growth retries — the retry policy's signal
-    to relax [utilization]. *)
+    to relax [utilization].
+
+    [dead_tile ~cols ~rows t] marks tile [t] defective at the given array
+    discretization (the defect map's view; see {!Vpga_resil.Defect}):
+    dead tiles contribute nothing to quadrant capacity, are never placed
+    or spilled into, and grow the starting dims when they eat into the
+    lower bound.  Omitted, behaviour is bit-identical to the healthy
+    fabric. *)
 
 val legalize :
   ?utilization:float ->
   ?criticality:float array ->
+  ?dead_tile:(cols:int -> rows:int -> int -> bool) ->
   Vpga_plb.Arch.t ->
   Vpga_place.Placement.t ->
   t

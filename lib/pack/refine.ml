@@ -35,6 +35,7 @@ type shared = {
   small : bool array;
   n_nets : int;
   scratch : int; (* touched-net scratch capacity: 2 * max packed degree *)
+  dead_tile : int -> bool; (* defective tiles: no move may land on one *)
 }
 
 (* One annealing walk: a tile rectangle [c0,c1) x [r0,r1), the ids it may
@@ -128,6 +129,12 @@ let make_ctx sh ~bounds:(bc0, br0, bc1, br1) ~ids ~tile_of ~view =
       total = 0.0;
     }
   in
+  (* Dead tiles answer every feasibility query false, so neither plain
+     moves nor swaps ever land on them; an initial packing that already
+     occupies one fails the population below as infeasible. *)
+  for t = 0 to n_tiles - 1 do
+    if sh.dead_tile t then Occupancy.set_dead ctx.occ.(t) true
+  done;
   Array.iter
     (fun id ->
       let t = tile_of.(id) in
@@ -389,7 +396,7 @@ let arm_region ctx ~grid q r =
     ctx.occ
 
 let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
-    ?(sanitize = false) ~seed q pl =
+    ?(sanitize = false) ?(dead_tile = fun _ -> false) ~seed q pl =
   if jobs < 1 then invalid_arg "Refine.run: jobs must be positive";
   if regions < 1 then invalid_arg "Refine.run: regions must be positive";
   let nl = pl.Placement.graph.Vpga_place.Hypergraph.nl in
@@ -459,6 +466,7 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
         small;
         n_nets;
         scratch;
+        dead_tile;
       }
     in
     let iterations =

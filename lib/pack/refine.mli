@@ -39,6 +39,7 @@ val run :
   ?jobs:int ->
   ?regions:int ->
   ?sanitize:bool ->
+  ?dead_tile:(int -> bool) ->
   seed:int ->
   Quadrisect.t ->
   Vpga_place.Placement.t ->
@@ -57,6 +58,11 @@ val run :
     mutation raises {!Vpga_plb.Occupancy.Race} at the faulting write
     instead of corrupting a neighbouring walk's state.  Stamping changes
     no verdicts — results stay bit-identical to an unsanitized run.
+
+    [dead_tile] (default [fun _ -> false]) marks defective tiles at this
+    array's discretization: they answer every feasibility query false, so
+    no move or swap ever lands on one.  An initial packing already
+    occupying a dead tile raises {!Infeasible}.
 
     Counters emitted on the ambient {!Vpga_obs.Trace}:
     [pack.fits_calls], [pack.fits_cache_hits], [refine.region_moves],

@@ -83,6 +83,7 @@ type t = {
   mutable slots : slot list;
   mutable signature : int;
   mutable owner : int; (* region id owning this tile, or -1: unstamped *)
+  mutable dead : bool; (* defective tile: admits nothing *)
 }
 
 let create cache =
@@ -96,12 +97,15 @@ let create cache =
     slots = [];
     signature = 0;
     owner = -1;
+    dead = false;
   }
 
 let arch t = t.cache.arch
 let cache t = t.cache
 let set_owner t r = t.owner <- r
 let owner t = t.owner
+let set_dead t b = t.dead <- b
+let dead t = t.dead
 
 (* Every mutation passes through here.  Armed (both stamps set), a
    mutation from a walk whose cache writes for region [writer] against a
@@ -164,7 +168,8 @@ let fast_alt t (it : Packer.item) =
 let query t it =
   let c = t.cache in
   c.fits_calls <- c.fits_calls + 1;
-  if not (counters_ok t it) then false
+  if t.dead then false
+  else if not (counters_ok t it) then false
   else if pure_flop it then true
   else if t.min_slots + min_slots_of c it > c.comb_cap then false
   else if fast_alt t it <> None then true
@@ -193,6 +198,8 @@ let item_equal (a : Packer.item) (b : Packer.item) =
 let query_replacing t ~without it =
   let c = t.cache in
   c.fits_calls <- c.fits_calls + 1;
+  if t.dead then false
+  else
   let a = c.arch in
   let flops = t.flops - (if without.Packer.flop then 1 else 0) in
   if
@@ -255,7 +262,8 @@ let bump t (it : Packer.item) =
 let add t it =
   guard t;
   let c = t.cache in
-  if not (counters_ok t it) then false
+  if t.dead then false
+  else if not (counters_ok t it) then false
   else if pure_flop it then begin
     t.slots <- { s_item = it; s_alt = Vector.zero } :: t.slots;
     bump t it;

@@ -63,6 +63,14 @@ val set_owner : t -> int -> unit
 
 val owner : t -> int
 
+val set_dead : t -> bool -> unit
+(** Mark the tile defective: {!query}, {!query_replacing} and {!add} all
+    answer [false] (zero capacity — nothing is ever placed or spilled
+    into it).  Defaults to [false], leaving the healthy semantics
+    untouched. *)
+
+val dead : t -> bool
+
 val count : t -> int
 (** Resident items. *)
 

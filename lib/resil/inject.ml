@@ -24,8 +24,11 @@ module Config = Vpga_plb.Config
 module Occupancy = Vpga_plb.Occupancy
 module Placement = Vpga_place.Placement
 module Quadrisect = Vpga_pack.Quadrisect
+module Grid = Vpga_route.Grid
 module Router = Vpga_route.Router
 module Pathfinder = Vpga_route.Pathfinder
+module Detail = Vpga_route.Detail
+module Int_set = Set.Make (Int)
 
 type fault = { what : string; undo : unit -> unit }
 
@@ -228,14 +231,17 @@ let occupancy_cross_region ~seed tiles =
         undo = (fun () -> Occupancy.remove t item);
       }
 
-(* Routing artifacts are consumed immutably, so corruption returns a new
-   result sharing the grid; there is nothing to undo. *)
-let route_drop_edge ~seed (r : Pathfinder.result) =
+(* Routing artifacts are consumed immutably, so route corruptors take the
+   result binding by reference: the ref is rebound to a corrupted copy
+   (sharing the grid) and [undo] restores the original binding — the same
+   fault/undo shape as every other corruptor. *)
+let route_drop_edge ~seed (r : Pathfinder.result ref) =
   let st = rng seed in
+  let orig = !r in
   let multi =
     List.filteri
       (fun _ rt -> List.length rt.Router.edges >= 2)
-      r.Pathfinder.routes
+      orig.Pathfinder.routes
   in
   match pick st multi with
   | None -> invalid_arg "Inject.route_drop_edge: no multi-edge route"
@@ -252,8 +258,99 @@ let route_drop_edge ~seed (r : Pathfinder.result) =
                 Router.edges = List.filteri (fun i _ -> i <> drop) rt.Router.edges;
               }
             else rt)
-          r.Pathfinder.routes
+          orig.Pathfinder.routes
       in
-      ( { r with Pathfinder.routes },
-        Printf.sprintf "routing: dropped edge %d from a %d-edge tree" dropped n
-      )
+      r := { orig with Pathfinder.routes };
+      {
+        what =
+          Printf.sprintf "routing: dropped edge %d from a %d-edge tree" dropped
+            n;
+        undo = (fun () -> r := orig);
+      }
+
+(* Force a packed node onto a defective tile: the extended
+   [Phys.check_packing ~dead_tile] must flag it ([defect-dead-tile]). *)
+let defect_dead_tile ~seed ~dead (q : Quadrisect.t) =
+  let st = rng seed in
+  let n_tiles = q.Quadrisect.cols * q.Quadrisect.rows in
+  let dead_tiles =
+    List.filter dead (List.init n_tiles Fun.id)
+  in
+  match (pick st dead_tiles, pick st (packed_ids q)) with
+  | None, _ -> invalid_arg "Inject.defect_dead_tile: defect map has no dead tile"
+  | _, None -> invalid_arg "Inject.defect_dead_tile: empty packing"
+  | Some tile, Some id ->
+      let old = q.Quadrisect.tile_of_node.(id) in
+      q.Quadrisect.tile_of_node.(id) <- tile;
+      {
+        what =
+          Printf.sprintf "packing: node %d forced onto defective tile %d" id
+            tile;
+        undo = (fun () -> q.Quadrisect.tile_of_node.(id) <- old);
+      }
+
+(* Force a route across a defective (dead) boundary: prepend a pendant
+   dead edge to one routing tree.  The far bin must not already be
+   touched by the tree, so the result stays an acyclic single tree
+   (|edges| = |bins| - 1) and only the capacity / dead-edge checks fire
+   ([dead-edge]), not the connectivity ones. *)
+let defect_dead_edge ~seed (r : Pathfinder.result ref) =
+  let st = rng seed in
+  let orig = !r in
+  let grid = orig.Pathfinder.grid in
+  let candidates =
+    List.concat
+      (List.mapi
+         (fun i rt ->
+           if rt.Router.edges = [] then []
+           else begin
+             let touched =
+               List.fold_left
+                 (fun acc e ->
+                   let a, b = Detail.bins_of grid e in
+                   Int_set.add a (Int_set.add b acc))
+                 Int_set.empty rt.Router.edges
+             in
+             let edge_set = Int_set.of_list rt.Router.edges in
+             let acc = ref [] in
+             Int_set.iter
+               (fun bin ->
+                 List.iter
+                   (fun (e, _) ->
+                     let a, b = Detail.bins_of grid e in
+                     let far = if Int_set.mem a touched then b else a in
+                     if
+                       Grid.dead grid e
+                       && (not (Int_set.mem e edge_set))
+                       && not (Int_set.mem far touched)
+                     then acc := (i, e) :: !acc)
+                   (Grid.neighbors grid bin))
+               touched;
+             List.sort_uniq compare !acc
+           end)
+         orig.Pathfinder.routes)
+  in
+  match pick st candidates with
+  | None ->
+      invalid_arg
+        "Inject.defect_dead_edge: no pendant dead edge adjacent to a route"
+  | Some (victim, e) ->
+      let routes =
+        List.mapi
+          (fun i rt ->
+            if i = victim then
+              let edges = e :: rt.Router.edges in
+              {
+                rt with
+                Router.edges;
+                wirelength = Router.wirelength_of grid edges;
+              }
+            else rt)
+          orig.Pathfinder.routes
+      in
+      r := { orig with Pathfinder.routes };
+      {
+        what =
+          Printf.sprintf "routing: net %d forced across dead edge %d" victim e;
+        undo = (fun () -> r := orig);
+      }

@@ -4,8 +4,9 @@
     mutates the artifact in place and returns an undo closure, so tests
     can prove the verification layer catches the fault — or a retry
     policy heals it — and then restore the artifact.  Routing results
-    are consumed immutably, so {!route_drop_edge} returns a corrupted
-    copy instead. *)
+    are consumed immutably, so the route corruptors take the result
+    binding as a [ref]: the ref is rebound to a corrupted copy (sharing
+    the grid) and [undo] restores the original binding. *)
 
 type fault = {
   what : string;  (** human-readable description of the injected fault *)
@@ -45,8 +46,26 @@ val occupancy_cross_region :
     @raise Vpga_plb.Occupancy.Race when the sanitizer is armed.
     @raise Invalid_argument when no tile qualifies as a victim. *)
 
-val route_drop_edge :
-  seed:int -> Vpga_route.Pathfinder.result -> Vpga_route.Pathfinder.result * string
-(** A copy of the routing result with one edge dropped from a
-    multi-edge routing tree ([route-disconnected]), plus the fault
-    description. *)
+val route_drop_edge : seed:int -> Vpga_route.Pathfinder.result ref -> fault
+(** Rebind the ref to a copy of the routing result with one edge dropped
+    from a multi-edge routing tree ([route-disconnected]); [undo]
+    restores the original result.
+    @raise Invalid_argument when no route has two edges. *)
+
+val defect_dead_tile :
+  seed:int -> dead:(int -> bool) -> Vpga_pack.Quadrisect.t -> fault
+(** Force one packed node onto a tile the defect map marks dead
+    ([dead] is the map's {!Vpga_resil.Defect.dead_pred} view at the
+    packing's dims) — the extended
+    [Phys.check_packing ~dead_tile] must flag it ([defect-dead-tile]).
+    @raise Invalid_argument when the map kills no tile of this array or
+    the packing is empty. *)
+
+val defect_dead_edge : seed:int -> Vpga_route.Pathfinder.result ref -> fault
+(** Rebind the ref to a copy of the routing result with one routing tree
+    extended across a {e pendant} dead boundary of its grid: the tree
+    stays a single acyclic tree, so only the capacity / dead-edge checks
+    of [Phys.check_routing] fire ([dead-edge]), proving the checker sees
+    defective-resource use rather than a connectivity artifact.
+    @raise Invalid_argument when no route borders a usable pendant dead
+    edge (e.g. the grid has no defects). *)

@@ -61,14 +61,24 @@ let assign grid routes =
                    else None)
           in
           let free t = not (Hashtbl.mem occupancy (e, t)) in
+          (* Only tracks listed usable on this edge are candidates: a
+             preferred (continuation) track must survive the defect filter
+             here too, and the fallback scan walks the edge's usable-track
+             array, skipping dead tracks entirely. *)
+          let usable = grid.Grid.tracks.(e) in
           let chosen =
-            match List.find_opt free preferred with
+            match
+              List.find_opt
+                (fun t -> free t && Grid.track_usable grid e t)
+                preferred
+            with
             | Some t -> Some t
             | None ->
-                let rec first t =
-                  if t >= grid.Grid.capacity then None
-                  else if free t then Some t
-                  else first (t + 1)
+                let n = Array.length usable in
+                let rec first i =
+                  if i >= n then None
+                  else if free usable.(i) then Some usable.(i)
+                  else first (i + 1)
                 in
                 first 0
           in
@@ -78,10 +88,20 @@ let assign grid routes =
               Hashtbl.replace track (e, net) t;
               if t > !max_track then max_track := t
           | None ->
+              let a, b = bins_of grid e in
+              let ca, ra = Grid.coords grid a and cb, rb = Grid.coords grid b in
+              let crossing =
+                List.fold_left
+                  (fun acc rt ->
+                    if List.mem e rt.Router.edges then acc + 1 else acc)
+                  0 routes
+              in
               raise
                 (Over_capacity
-                   (Printf.sprintf "edge %d over capacity %d" e
-                      grid.Grid.capacity)))
+                   (Printf.sprintf
+                      "edge %d between bins (%d,%d) and (%d,%d) over \
+                       capacity: %d usable track(s), %d net(s) crossing"
+                      e ca ra cb rb (Array.length usable) crossing)))
         edges;
       (* Count vias: within each bin, adjacent edge pairs of this net that
          change direction or track. *)
@@ -134,8 +154,11 @@ let validate t routes =
           match track_of t ~net ~edge:e with
           | None -> errors := Printf.sprintf "net %d unassigned on edge %d" net e :: !errors
           | Some tr ->
-              if tr < 0 || tr >= t.grid.Grid.capacity then
-                errors := Printf.sprintf "net %d track %d out of range" net tr :: !errors;
+              if tr < 0 || not (Grid.track_usable t.grid e tr) then
+                errors :=
+                  Printf.sprintf "net %d track %d not usable on edge %d" net
+                    tr e
+                  :: !errors;
               (match Hashtbl.find_opt seen (e, tr) with
               | Some other when other <> net ->
                   errors :=

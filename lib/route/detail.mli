@@ -19,9 +19,12 @@ val bins_of : Grid.t -> int -> int * int
     exposed for the routing-connectivity checker in [vpga_verify]. *)
 
 val run_result : Grid.t -> Router.route list -> (t, string) result
-(** [Error] describes the first edge holding more nets than its
-    capacity (cannot happen on an overflow-free PathFinder result) —
-    the retry policy's signal to escalate channel capacity. *)
+(** [Error] describes the first edge holding more nets than its usable
+    tracks (cannot happen on an overflow-free PathFinder result): the
+    edge index, the (col,row) coordinates of the two bins it joins, its
+    usable track count, and how many nets cross it — the retry policy's
+    signal to escalate channel capacity.  Only a defective edge's usable
+    tracks are candidates; dead tracks are skipped. *)
 
 val run : Grid.t -> Router.route list -> t
 (** {!run_result} as a hard gate.
@@ -32,4 +35,4 @@ val track_of : t -> net:int -> edge:int -> int option
 
 val validate : t -> Router.route list -> (unit, string) result
 (** Checks that every crossing has a track, no (edge, track) pair is shared
-    by two nets, and all tracks are within capacity. *)
+    by two nets, and every assigned track is usable on its edge. *)

@@ -12,8 +12,8 @@ let cap_per_um = 0.2 (* fF/um *)
 let res_per_um = 0.00008 (* kOhm/um = ps/fF/um *)
 let local_wire_um = 15.0 (* same-bin nets still have some local wire *)
 
-let route_placement ?grid_cols ?capacity ?(max_iterations = 30) pl =
-  let grid = Grid.of_placement ?target_cols:grid_cols ?capacity pl in
+let route_placement ?grid_cols ?capacity ?tracks ?(max_iterations = 30) pl =
+  let grid = Grid.of_placement ?target_cols:grid_cols ?capacity ?tracks pl in
   let nets = Placement.nets_with_io pl in
   let pins_of net =
     Array.to_list net
@@ -45,10 +45,10 @@ let route_placement ?grid_cols ?capacity ?(max_iterations = 30) pl =
       (* accumulate history on congested edges *)
       Array.iteri
         (fun e u ->
-          if u > grid.Grid.capacity then
+          let cap = Grid.cap grid e in
+          if u > cap then
             grid.Grid.history.(e) <-
-              grid.Grid.history.(e)
-              +. (0.4 *. float_of_int (u - grid.Grid.capacity)))
+              grid.Grid.history.(e) +. (0.4 *. float_of_int (u - cap)))
         grid.Grid.usage;
       negotiate (iter + 1) (pres_fac *. 1.8)
     end

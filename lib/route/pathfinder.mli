@@ -10,10 +10,13 @@ type result = {
 }
 
 val route_placement :
-  ?grid_cols:int -> ?capacity:int -> ?max_iterations:int ->
-  Vpga_place.Placement.t -> result
+  ?grid_cols:int -> ?capacity:int -> ?tracks:Grid.track_fn ->
+  ?max_iterations:int -> Vpga_place.Placement.t -> result
 (** Builds one multi-terminal net per driver from the placement's netlist
-    and negotiates until overflow-free (or [max_iterations], default 30). *)
+    and negotiates until overflow-free (or [max_iterations], default 30).
+    [tracks] derates or kills individual boundaries (see
+    {!Grid.track_fn}): dead edges are priced as unroutable, so any route
+    forced across one leaves [final_overflow] nonzero. *)
 
 val total_wirelength : result -> float
 

@@ -1,13 +1,23 @@
 type route = { net : int array; edges : int list; wirelength : float }
 
+(* Dead boundaries are priced huge-but-finite rather than removed: the
+   search stays connected (no pin is ever unreachable through the grid
+   graph), and any route forced across a dead edge surfaces as overflow —
+   the signal the negotiation loop, the retry ladder and the
+   minimum-channel-width search all key on.  The constant must dominate
+   the congestion term, which grows like pres_fac ~ 1.8^iterations. *)
+let dead_edge_penalty = 1e15
+
 let edge_cost grid ~pres_fac e =
   let len = Grid.edge_length grid e /. max grid.Grid.bin_w grid.Grid.bin_h in
-  let u = grid.Grid.usage.(e) in
-  let congestion =
-    if u < grid.Grid.capacity then 1.0
-    else 1.0 +. (float_of_int (u + 1 - grid.Grid.capacity) *. pres_fac)
-  in
-  len *. (1.0 +. grid.Grid.history.(e)) *. congestion
+  let cap = Grid.cap grid e in
+  if cap = 0 then len *. dead_edge_penalty
+  else
+    let u = grid.Grid.usage.(e) in
+    let congestion =
+      if u < cap then 1.0 else 1.0 +. (float_of_int (u + 1 - cap) *. pres_fac)
+    in
+    len *. (1.0 +. grid.Grid.history.(e)) *. congestion
 
 (* Priority queue as a Set of (cost, bin). *)
 module Pq = Set.Make (struct

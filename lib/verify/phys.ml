@@ -60,7 +60,7 @@ let check_placement ?(eps = 1e-6) (pl : Placement.t) =
 
 (* --- PLB packing coverage --- *)
 
-let check_packing (q : Quadrisect.t) nl =
+let check_packing ?(dead_tile = fun _ -> false) (q : Quadrisect.t) nl =
   let arch = q.Quadrisect.arch in
   let n_tiles = q.Quadrisect.cols * q.Quadrisect.rows in
   let diags = ref [] in
@@ -89,6 +89,10 @@ let check_packing (q : Quadrisect.t) nl =
                  "node %d assigned to tile %d outside the %dx%d array" id tile
                  q.Quadrisect.cols q.Quadrisect.rows)
           else begin
+            if dead_tile tile then
+              add
+                (Diag.error ~nodes:[ id ] "defect-dead-tile"
+                   "node %d is packed into defective tile %d" id tile);
             tile_items.(tile) <- (id, item) :: tile_items.(tile);
             (* The configuration must actually implement the node's
                function. *)
@@ -209,13 +213,27 @@ let check_routing (r : Pathfinder.result) (pl : Placement.t) =
   (* Channel capacities.  When the negotiation itself gave up with leftover
      overflow the result is advertised as such ([final_overflow > 0]); only
      an inconsistency between the claim and the routes is an error. *)
-  let over = ref 0 in
-  Array.iter (fun u -> over := !over + max 0 (u - grid.Grid.capacity)) usage;
+  let over = ref 0 and dead_used = ref 0 in
+  Array.iteri
+    (fun e u ->
+      let cap = Grid.cap grid e in
+      over := !over + max 0 (u - cap);
+      if cap = 0 && u > 0 then dead_used := !dead_used + u)
+    usage;
   if !over > 0 && r.Pathfinder.final_overflow = 0 then
     add
       (Diag.error "capacity"
          "routes exceed channel capacity by %d but the router claimed none"
          !over);
+  (* Any crossing of a dead boundary is also counted in [over], so a
+     converged result ([final_overflow = 0]) can never hide one; flag the
+     defect use explicitly when the claim and the routes disagree. *)
+  if !dead_used > 0 && r.Pathfinder.final_overflow = 0 then
+    add
+      (Diag.error "dead-edge"
+         "routes cross defective (dead) boundaries %d time(s) but the \
+          router claimed convergence"
+         !dead_used);
   if !over <> r.Pathfinder.final_overflow then
     add
       (Diag.warning "overflow-mismatch"

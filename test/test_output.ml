@@ -33,7 +33,7 @@ let count_substring hay needle =
 (* --- Detailed routing -------------------------------------------------- *)
 
 let test_detail_straight () =
-  let grid = Grid.create ~cols:6 ~rows:1 ~bin_w:10.0 ~bin_h:10.0 ~capacity:3 in
+  let grid = Grid.create ~cols:6 ~rows:1 ~bin_w:10.0 ~bin_h:10.0 ~capacity:3 () in
   match Router.route_net grid ~pres_fac:1.0 ~pins:[ 0; 5 ] with
   | Some edges ->
       Router.commit grid edges;
@@ -49,7 +49,7 @@ let test_detail_straight () =
   | None -> Alcotest.fail "unroutable"
 
 let test_detail_bend_costs_via () =
-  let grid = Grid.create ~cols:4 ~rows:4 ~bin_w:10.0 ~bin_h:10.0 ~capacity:3 in
+  let grid = Grid.create ~cols:4 ~rows:4 ~bin_w:10.0 ~bin_h:10.0 ~capacity:3 () in
   match Router.route_net grid ~pres_fac:1.0 ~pins:[ 0; 15 ] with
   | Some edges ->
       Router.commit grid edges;

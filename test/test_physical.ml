@@ -171,7 +171,7 @@ let prop_buffering_bounds_fanout =
 (* --- Routing ------------------------------------------------------------------ *)
 
 let test_grid () =
-  let g = Grid.create ~cols:4 ~rows:3 ~bin_w:10.0 ~bin_h:10.0 ~capacity:2 in
+  let g = Grid.create ~cols:4 ~rows:3 ~bin_w:10.0 ~bin_h:10.0 ~capacity:2 () in
   Alcotest.(check int) "bins" 12 (Grid.num_bins g);
   Alcotest.(check int) "edges" (9 + 8) (Grid.num_edges g);
   Alcotest.(check int) "corner has 2 neighbors" 2
@@ -185,7 +185,7 @@ let test_grid () =
     (fun () -> ignore (Grid.edge_between g 0 5))
 
 let test_route_single_net () =
-  let g = Grid.create ~cols:5 ~rows:5 ~bin_w:10.0 ~bin_h:10.0 ~capacity:4 in
+  let g = Grid.create ~cols:5 ~rows:5 ~bin_w:10.0 ~bin_h:10.0 ~capacity:4 () in
   (match Router.route_net g ~pres_fac:1.0 ~pins:[ 0; 24 ] with
   | Some edges ->
       (* manhattan distance between opposite corners is 8 bins *)
@@ -197,7 +197,7 @@ let test_route_single_net () =
   | None -> Alcotest.fail "unroutable"
 
 let test_route_steiner () =
-  let g = Grid.create ~cols:5 ~rows:5 ~bin_w:10.0 ~bin_h:10.0 ~capacity:4 in
+  let g = Grid.create ~cols:5 ~rows:5 ~bin_w:10.0 ~bin_h:10.0 ~capacity:4 () in
   match Router.route_net g ~pres_fac:1.0 ~pins:[ 0; 4; 2 + 20 ] with
   | Some edges ->
       (* tree connecting (0,0),(4,0),(2,4): optimal Steiner length 8 *)
@@ -222,7 +222,7 @@ let test_pathfinder_converges () =
 
 let test_congestion_negotiation () =
   (* Many nets across a 1-track column must spread over other rows. *)
-  let g = Grid.create ~cols:2 ~rows:6 ~bin_w:10.0 ~bin_h:10.0 ~capacity:1 in
+  let g = Grid.create ~cols:2 ~rows:6 ~bin_w:10.0 ~bin_h:10.0 ~capacity:1 () in
   let routed =
     List.init 4 (fun _ ->
         match Router.route_net g ~pres_fac:2.0 ~pins:[ 0; 1 ] with
@@ -240,7 +240,7 @@ let prop_grid_roundtrip =
   QCheck.Test.make ~name:"bin_of (center b) = b" ~count:100
     QCheck.(pair (int_range 2 9) (int_range 2 9))
     (fun (cols, rows) ->
-      let g = Grid.create ~cols ~rows ~bin_w:12.0 ~bin_h:9.0 ~capacity:4 in
+      let g = Grid.create ~cols ~rows ~bin_w:12.0 ~bin_h:9.0 ~capacity:4 () in
       List.for_all
         (fun b ->
           let x, y = Grid.center g b in
@@ -251,7 +251,7 @@ let prop_route_wirelength =
   QCheck.Test.make ~name:"wirelength equals edges times bin size" ~count:50
     QCheck.(pair (int_range 0 24) (int_range 0 24))
     (fun (p1, p2) ->
-      let g = Grid.create ~cols:5 ~rows:5 ~bin_w:10.0 ~bin_h:10.0 ~capacity:8 in
+      let g = Grid.create ~cols:5 ~rows:5 ~bin_w:10.0 ~bin_h:10.0 ~capacity:8 () in
       match Router.route_net g ~pres_fac:1.0 ~pins:[ p1; p2 ] with
       | Some edges ->
           Float.abs

@@ -200,15 +200,19 @@ let test_inject_packing () =
 
 let test_inject_routing () =
   let _, pl, _ = Lazy.force packed in
-  let routed = Pathfinder.route_placement pl in
+  let routed = ref (Pathfinder.route_placement pl) in
+  let pristine = !routed in
   Alcotest.(check bool) "fixture routes cleanly" false
-    (Diag.has_errors (Phys.check_routing routed pl));
+    (Diag.has_errors (Phys.check_routing !routed pl));
   List.iter
     (fun seed ->
-      let corrupted, what = Inject.route_drop_edge ~seed routed in
-      let ds = Phys.check_routing corrupted pl in
-      Alcotest.(check bool) (what ^ " caught") true
-        (Diag.has_code "route-disconnected" ds || Diag.has_code "route-forest" ds))
+      let fault = Inject.route_drop_edge ~seed routed in
+      let ds = Phys.check_routing !routed pl in
+      Alcotest.(check bool) (fault.Inject.what ^ " caught") true
+        (Diag.has_code "route-disconnected" ds || Diag.has_code "route-forest" ds);
+      fault.Inject.undo ();
+      Alcotest.(check bool) (fault.Inject.what ^ " undone") true
+        (!routed == pristine))
     inject_seeds
 
 (* --- retry-with-escalation ladders ------------------------------------- *)
