@@ -16,9 +16,15 @@
 #                   (fractional, default 0.25)
 #   make stress     small fixed-seed defect-stress matrix: minimum channel
 #                   width + survival per (design, arch, defect rate)
+#   make metrics    regenerate the committed BENCH_metrics.json baseline
+#                   (one fixed-seed alu/granular flow with --metrics)
+#   make metricsdiff  run the same flow fresh and gate it against
+#                   BENCH_metrics.json with `vpga perf diff` at 50%
+#                   tolerance; exits nonzero on regression
 #   make check      the full pre-merge gate: build, test suite, the
-#                   static-analysis suite, the defect-stress matrix, then
-#                   the kernel perf regression diff at 25% tolerance
+#                   static-analysis suite, the defect-stress matrix, the
+#                   metrics snapshot diff, then the kernel perf
+#                   regression diff at 25% tolerance
 #   make trace      run one traced flow (alu / granular) and write
 #                   trace.json -- open it at https://ui.perfetto.dev or
 #                   summarize with `dune exec bin/vpga.exe -- report trace.json`
@@ -26,7 +32,7 @@
 JOBS ?=
 TOLERANCE ?=
 
-.PHONY: all build test verify faults obs analyze bench perfdiff stress check trace clean
+.PHONY: all build test verify faults obs analyze bench perfdiff stress metrics metricsdiff check trace clean
 
 all: build test
 
@@ -61,11 +67,23 @@ perfdiff:
 stress:
 	dune exec bin/vpga.exe -- stress --rates 0,0.05 --maps 2 $(if $(JOBS),-j $(JOBS),)
 
+# The committed metrics baseline and its gate both run the same fixed-seed
+# single-job flow, so counters/allocations are deterministic and only
+# wall-clock quantities need the diff's noise floors.
+metrics:
+	dune exec bin/vpga.exe -- flow -d alu -a granular -j 1 --seed 1 --metrics BENCH_metrics.json
+
+metricsdiff:
+	dune exec bin/vpga.exe -- flow -d alu -a granular -j 1 --seed 1 --metrics _metrics_current.json
+	dune exec bin/vpga.exe -- perf diff BENCH_metrics.json _metrics_current.json --tolerance 0.5
+	rm -f _metrics_current.json
+
 check:
 	dune build
 	dune build @runtest
 	dune build @analyze
 	$(MAKE) stress
+	$(MAKE) metricsdiff
 	$(MAKE) perfdiff TOLERANCE=0.25
 
 clean:

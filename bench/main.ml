@@ -50,6 +50,9 @@ let () =
 let sweep_seconds = ref 0.0
 let sweep_recovery = ref Recovery.zero
 let sweep_stages : (string * float) list ref = ref []
+let sweep_alloc : (string * (float * float * int)) list ref = ref []
+let sweep_percentiles : (string * (int * float * float * float)) list ref =
+  ref []
 let robustness : Minchan.report option ref = ref None
 
 let section title =
@@ -66,16 +69,32 @@ let reproduce_tables () =
   Report.compaction Format.std_formatter Experiments.Paper;
   section "E6-E9: Full evaluation (paper-scale designs, both PLBs, both flows)";
   let t0 = Unix.gettimeofday () in
-  let reports =
-    Experiments.run_tasks ~seed:1 ~jobs:!jobs ~traced:true Experiments.Paper
+  let reports, pstats =
+    Experiments.run_tasks_with_stats ~seed:1 ~jobs:!jobs ~traced:true
+      Experiments.Paper
   in
   sweep_seconds := Unix.gettimeofday () -. t0;
   sweep_recovery := Experiments.recovery reports;
-  (* Per-stage wall time summed across the sweep's traces: where the
-     sweep's seconds actually go, revision over revision. *)
-  sweep_stages :=
-    Obs.Export.stage_totals
-      (List.map (fun r -> r.Experiments.t_trace) reports);
+  let traces = List.map (fun r -> r.Experiments.t_trace) reports in
+  (* The pool's accounting becomes its own trace: stats gauges plus the
+     per-task queue-wait histogram, so scheduling health lands in the
+     percentile block below alongside the flow histograms. *)
+  let pool_trace = Trace.create ~tid:(List.length reports) ~label:"pool" () in
+  Pool.publish_stats pstats pool_trace;
+  (* Per-stage wall time and GC allocation summed across the sweep's
+     traces: where the sweep's seconds and words actually go, revision
+     over revision. *)
+  sweep_stages := Obs.Export.stage_totals traces;
+  sweep_alloc := Obs.Export.stage_allocs traces;
+  sweep_percentiles :=
+    List.map
+      (fun (name, h) ->
+        ( name,
+          ( Obs.Metrics.Histogram.count h,
+            Obs.Metrics.Histogram.percentile h 50.0,
+            Obs.Metrics.Histogram.percentile h 90.0,
+            Obs.Metrics.Histogram.percentile h 99.0 ) ))
+      (Obs.Export.merged_histograms (traces @ [ pool_trace ]));
   let rows = Experiments.rows reports in
   Format.printf
     "(flow sweep took %.1f s on %d worker domain%s; %d retried attempt(s), \
@@ -250,7 +269,7 @@ let write_json kernels =
   let oc = open_out !json_path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"vpga-bench-sweep/3\",\n";
+  out "  \"schema\": \"vpga-bench-sweep/4\",\n";
   out "  \"jobs\": %d,\n" !jobs;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"sweep_wall_s\": %.3f,\n" !sweep_seconds;
@@ -265,6 +284,31 @@ let write_json kernels =
       out "    %S: %.3f%s\n" name secs
         (if i = List.length !sweep_stages - 1 then "" else ","))
     !sweep_stages;
+  out "  },\n";
+  (* GC allocation per flow stage over the same sweep: minor/major words
+     and major collections, the memory half of the stage accounting. *)
+  out "  \"stages_alloc\": {\n";
+  List.iteri
+    (fun i (name, (minor_w, major_w, colls)) ->
+      out
+        "    %S: { \"minor_words\": %.0f, \"major_words\": %.0f, \
+         \"major_collections\": %d }%s\n"
+        name minor_w major_w colls
+        (if i = List.length !sweep_alloc - 1 then "" else ","))
+    !sweep_alloc;
+  out "  },\n";
+  (* Distribution tails for the sweep's histograms (per-net wirelength,
+     span durations, occupancy probe costs, pool queue waits): exact
+     nearest-rank p50/p90/p99 over all retained samples. *)
+  out "  \"percentiles\": {\n";
+  List.iteri
+    (fun i (name, (count, p50, p90, p99)) ->
+      out
+        "    %S: { \"count\": %d, \"p50\": %.3f, \"p90\": %.3f, \
+         \"p99\": %.3f }%s\n"
+        name count p50 p90 p99
+        (if i = List.length !sweep_percentiles - 1 then "" else ","))
+    !sweep_percentiles;
   out "  },\n";
   (match !robustness with
   | Some r -> out "  \"robustness\": %s,\n" (Minchan.json_report ~indent:"    " r)

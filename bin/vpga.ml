@@ -10,7 +10,9 @@
      vpga stress [-p] [-j N]  minimum-channel-width search under defect maps
      vpga lint -d NAME [-a ARCH]  lint a design and its front-end stages
      vpga analyze -d NAME [-a ARCH]  dataflow analyses over the stages
-     vpga report FILE         per-stage summary of a Chrome trace file *)
+     vpga report FILE         per-stage summary of a Chrome trace file
+     vpga perf diff A B       compare two metrics snapshots, exit 1 past
+                              tolerance *)
 
 open Cmdliner
 open Vpga_core.Vpga
@@ -172,14 +174,27 @@ let trace_arg =
            Chrome trace-event JSON (open in Perfetto / chrome://tracing, or \
            summarize with $(b,vpga report)).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a self-contained metrics snapshot of the run to $(docv): \
+           counter totals, per-stage wall time and GC allocation, \
+           histogram percentiles (p50/p90/p99) and convergence-series \
+           summaries.  Compare two snapshots with $(b,vpga perf diff).")
+
 let flow_cmd =
-  let run paper seed design arch_name verify policy trace_file jobs analyze =
+  let run paper seed design arch_name verify policy trace_file metrics_file
+      jobs analyze =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
+    let label = design ^ "/" ^ arch_name in
     let trace =
-      match trace_file with
-      | Some _ -> Trace.create ~label:(design ^ "/" ^ arch_name) ()
-      | None -> Trace.null
+      match (trace_file, metrics_file) with
+      | None, None -> Trace.null
+      | _ -> Trace.create ~label ()
     in
     let pair = run_flow ~seed ~verify ~policy ~trace ~jobs ~analyze arch nl in
     let show (o : Flow.outcome) =
@@ -197,16 +212,21 @@ let flow_cmd =
       (100.0 *. pair.Flow.a.Flow.compaction_gain);
     show pair.Flow.a;
     show pair.Flow.b;
-    match trace_file with
+    (match trace_file with
     | None -> ()
     | Some file ->
         Obs.Export.write_chrome ~process_name:"vpga flow" file [ trace ];
+        Format.printf "wrote %s@." file);
+    match metrics_file with
+    | None -> ()
+    | Some file ->
+        Obs.Export.write_snapshot ~label file [ trace ];
         Format.printf "wrote %s@." file
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
     Term.(
       const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg
-      $ policy_arg $ trace_arg $ jobs_arg $ analyze_flag)
+      $ policy_arg $ trace_arg $ metrics_arg $ jobs_arg $ analyze_flag)
 
 let sweep_cmd =
   let verbose_flag =
@@ -217,10 +237,11 @@ let sweep_cmd =
             "Also print the worker pool's accounting: tasks run, total \
              queue wait, and per-worker busy time.")
   in
-  let run paper seed jobs verify policy verbose analyze =
+  let run paper seed jobs verify policy verbose analyze trace_file =
+    let traced = trace_file <> None in
     let reports, pstats =
       Experiments.run_tasks_with_stats ~seed ~jobs ~verify ~policy ~analyze
-        (scale_of paper)
+        ~traced (scale_of paper)
     in
     let failed =
       List.length (List.filter (fun r -> Result.is_error r.Experiments.t_result) reports)
@@ -258,6 +279,18 @@ let sweep_cmd =
         (fun i busy -> Format.printf "  worker %d: busy %.1f ms@." i (ms busy))
         pstats.Pool.busy_ns
     end;
+    (match trace_file with
+    | None -> ()
+    | Some file ->
+        (* The pool's accounting rides along as its own thread: stats
+           gauges plus the queue-wait histogram. *)
+        let pool_trace =
+          Trace.create ~tid:(List.length reports) ~label:"pool" ()
+        in
+        Pool.publish_stats pstats pool_trace;
+        Obs.Export.write_chrome ~process_name:"vpga sweep" file
+          (List.map (fun r -> r.Experiments.t_trace) reports @ [ pool_trace ]);
+        Format.printf "wrote %s@." file);
     if failed > 0 then exit 1
   in
   Cmd.v
@@ -269,7 +302,7 @@ let sweep_cmd =
           task failed.")
     Term.(
       const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg
-      $ verbose_flag $ analyze_flag)
+      $ verbose_flag $ analyze_flag $ trace_arg)
 
 let stress_cmd =
   let rates_arg =
@@ -317,7 +350,7 @@ let stress_cmd =
       & info [ "d"; "design" ]
           ~doc:"Restrict the sweep to one design (default: all four).")
   in
-  let run paper seed jobs rates maps w_max dist json design =
+  let run paper seed jobs rates maps w_max dist json design trace_file =
     let scale = scale_of paper in
     let designs =
       match design with
@@ -331,12 +364,19 @@ let stress_cmd =
                  String.lowercase_ascii n = String.lowercase_ascii name)
                (Experiments.designs scale))
     in
+    let traced = trace_file <> None in
     let report =
       Minchan.stress ~seed ~jobs ~dist ~rates ~maps_per_rate:maps ~w_max
-        ?designs scale
+        ~traced ?designs scale
     in
     if json then print_string (Minchan.json_report report)
-    else Format.printf "%a@." Minchan.pp_report report
+    else Format.printf "%a@." Minchan.pp_report report;
+    match trace_file with
+    | None -> ()
+    | Some file ->
+        Obs.Export.write_chrome ~process_name:"vpga stress" file
+          (List.map (fun p -> p.Minchan.p_trace) report.Minchan.r_points);
+        Format.printf "wrote %s@." file
   in
   Cmd.v
     (Cmd.info "stress"
@@ -348,7 +388,7 @@ let stress_cmd =
           every $(b,--jobs) setting.")
     Term.(
       const run $ paper_flag $ seed_arg $ jobs_arg $ rates_arg $ maps_arg
-      $ wmax_arg $ dist_arg $ json_flag $ design_filter)
+      $ wmax_arg $ dist_arg $ json_flag $ design_filter $ trace_arg)
 
 let lint_cmd =
   let formal_flag =
@@ -481,17 +521,79 @@ let report_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Chrome trace-event JSON written by $(b,vpga flow --trace).")
   in
-  let run file =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as JSON (schema vpga-report/1) instead of \
+                the text tables.")
+  in
+  let run file json =
     match Obs.Export.load file with
-    | Ok doc -> Obs.Export.report Format.std_formatter doc
+    | Ok doc ->
+        if json then
+          print_endline (Obs.Json.to_string (Obs.Export.report_json doc))
+        else Obs.Export.report Format.std_formatter doc
     | Error msg -> Fmt.failwith "%s: %s" file msg
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Summarize a recorded flow trace: per-stage wall time and share, \
-          inner-loop counters, and recovery instants")
-    Term.(const run $ file)
+         "Summarize a recorded flow trace: per-stage wall time, allocation \
+          and share, inner-loop counters, convergence series, and recovery \
+          instants")
+    Term.(const run $ file $ json_flag)
+
+let perf_cmd =
+  let snapshot_file idx name =
+    Arg.(
+      required
+      & pos idx (some file) None
+      & info [] ~docv:name
+          ~doc:
+            (Printf.sprintf
+               "The %s metrics snapshot (written by $(b,vpga flow \
+                --metrics))."
+               (String.lowercase_ascii name)))
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Allowed fractional growth per metric before it counts as a \
+             regression (time-valued metrics also get an absolute noise \
+             floor).")
+  in
+  let diff_cmd =
+    let run base_file cur_file tolerance =
+      let load file =
+        match Obs.Export.load file with
+        | Ok doc -> doc
+        | Error msg ->
+            Format.eprintf "%s: %s@." file msg;
+            exit 2
+      in
+      let base = load base_file and current = load cur_file in
+      let deltas = Obs.Metrics.diff ~tolerance ~base ~current () in
+      Format.printf "%a@." Obs.Metrics.pp_diff deltas;
+      if Obs.Metrics.regressions deltas <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two metrics snapshots (counters, per-stage wall/alloc, \
+            histogram percentiles, convergence iteration counts); exits 1 \
+            when any metric grew past $(b,--tolerance), 2 when a snapshot \
+            cannot be read.")
+      Term.(
+        const run $ snapshot_file 0 "BASE" $ snapshot_file 1 "CURRENT"
+        $ tolerance_arg)
+  in
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:"Performance-trajectory tools over metrics snapshots")
+    [ diff_cmd ]
 
 let () =
   let doc = "VPGA logic-block granularity exploration (DATE 2004 reproduction)" in
@@ -512,4 +614,5 @@ let () =
             analyze_cmd;
             export_cmd;
             report_cmd;
+            perf_cmd;
           ]))

@@ -127,18 +127,26 @@ let search ?(seed = 1) ?(period = 500.0) ?(policy = Policy.default)
           span ~attrs:[ ("w", Attr.Int w) ] "minchan:probe" @@ fun () ->
           incr probes;
           Trace.emit "minchan.probes" 1.0;
+          (* Search-trajectory series: which capacity each probe tried,
+             and whether it routed (1.0) or not (0.0). *)
+          Trace.emit_sample "minchan.probe_w" (float_of_int w);
           let routed =
             Pathfinder.route_placement ~capacity:w ~max_iterations ?tracks
               pl_b
           in
-          if routed.Pathfinder.final_overflow > 0 then (routed, None)
-          else
-            match
-              Detail.run_result routed.Pathfinder.grid
-                routed.Pathfinder.routes
-            with
-            | Ok d -> (routed, Some d)
-            | Error _ -> (routed, None)
+          let r =
+            if routed.Pathfinder.final_overflow > 0 then (routed, None)
+            else
+              match
+                Detail.run_result routed.Pathfinder.grid
+                  routed.Pathfinder.routes
+              with
+              | Ok d -> (routed, Some d)
+              | Error _ -> (routed, None)
+          in
+          Trace.emit_sample "minchan.probe_ok"
+            (if snd r <> None then 1.0 else 0.0);
+          r
         in
         Hashtbl.add probe_cache w r;
         r

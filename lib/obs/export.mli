@@ -24,10 +24,32 @@ val stage_totals : Trace.t list -> (string * float) list
     children of each trace's root — summed across all given traces,
     name-sorted.  This is the [stages_s] block of [BENCH_sweep.json]. *)
 
+val stage_allocs : Trace.t list -> (string * (float * float * int)) list
+(** Per-stage [(minor_words, major_words, major_collections)] from the
+    GC attrs every closed span carries, summed like {!stage_totals}.
+    This is the [stages_alloc] block of [BENCH_sweep.json]. *)
+
+val merged_histograms : Trace.t list -> (string * Metrics.Histogram.t) list
+(** All histograms of the given traces merged by name, name-sorted. *)
+
+val snapshot : ?label:string -> Trace.t list -> Json.t
+(** Self-contained metrics snapshot (schema [vpga-metrics/1]): counter
+    and gauge totals, per-stage wall/alloc accounting, merged histograms
+    with exact p50/p90/p99 and log-binned shape, and series trajectory
+    summaries (sample counts and endpoints — full series live in the
+    Chrome export).  This is the input format of [vpga perf diff]. *)
+
+val write_snapshot : ?label:string -> string -> Trace.t list -> unit
+(** [snapshot] serialized to a file. *)
+
 val report : Format.formatter -> Json.t -> unit
 (** The per-stage summary of a Chrome trace-event document: a span table
-    (calls, total time, share of root wall time), the counter totals, and
-    the instant-event counts. *)
+    (calls, total time, share of root wall time, minor allocation), the
+    counter totals, series sample counts, and the instant-event counts. *)
+
+val report_json : Json.t -> Json.t
+(** The same aggregation as {!report} but machine-readable (schema
+    [vpga-report/1]) — for [vpga report --json]. *)
 
 val report_traces : Format.formatter -> Trace.t list -> unit
 (** [report] on [chrome traces] — the in-process shortcut. *)

@@ -4,6 +4,21 @@
    running its task (the sweep hands finished traces back through a pool
    join, which publishes them), so there is no lock. *)
 
+(* A time series keeps at most [series_cap] timestamped samples.  When a
+   probe overruns the cap (a SAT-heavy verify can solve tens of
+   thousands of times), the buffer is decimated: every other sample is
+   dropped and the recording stride doubles, so retained samples stay
+   spread over the whole run instead of truncating the tail. *)
+let series_cap = 4096
+
+type series_buf = {
+  mutable sb_rsamples : (int64 * float) list; (* newest first *)
+  mutable sb_len : int;
+  mutable sb_stride : int; (* record every sb_stride-th offered sample *)
+  mutable sb_skip : int; (* offered samples to skip before next record *)
+  mutable sb_total : int; (* samples offered, including decimated ones *)
+}
+
 type sink = {
   s_tid : int;
   s_label : string;
@@ -11,6 +26,8 @@ type sink = {
   mutable depth : int; (* currently open spans *)
   counters : (string, float ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
+  series : (string, series_buf) Hashtbl.t;
+  hists : (string, Metrics.Histogram.t) Hashtbl.t;
 }
 
 type t = sink option
@@ -26,6 +43,8 @@ let create ?(tid = 0) ?(label = "") () =
       depth = 0;
       counters = Hashtbl.create 16;
       gauges = Hashtbl.create 8;
+      series = Hashtbl.create 8;
+      hists = Hashtbl.create 8;
     }
 
 let enabled = function Some _ -> true | None -> false
@@ -42,8 +61,19 @@ type span =
       o_t0 : int64;
       o_depth : int;
       o_attrs : (string * Span.attr) list;
+      (* Gc.quick_stat baseline at open, so the close records per-span
+         allocation deltas.  quick_stat is O(1) and domain-local: work a
+         span farms out to other domains (region-parallel refine, the
+         sweep pool) allocates on those domains and is not charged here. *)
+      o_gc_minor : float;
+      o_gc_major : float;
+      o_gc_colls : int;
       mutable o_closed : bool;
     }
+
+(* forward ref to [observe] below; spans auto-feed a duration histogram *)
+let observe_hist : (sink -> string -> float -> unit) ref =
+  ref (fun _ _ _ -> ())
 
 let begin_span ?(attrs = []) t name =
   match t with
@@ -51,6 +81,7 @@ let begin_span ?(attrs = []) t name =
   | Some s ->
       let d = s.depth in
       s.depth <- d + 1;
+      let g = Gc.quick_stat () in
       Open
         {
           o_sink = s;
@@ -58,6 +89,9 @@ let begin_span ?(attrs = []) t name =
           o_t0 = Clock.now_ns ();
           o_depth = d;
           o_attrs = attrs;
+          o_gc_minor = g.Gc.minor_words;
+          o_gc_major = g.Gc.major_words;
+          o_gc_colls = g.Gc.major_collections;
           o_closed = false;
         }
 
@@ -69,16 +103,27 @@ let end_span ?(attrs = []) sp =
         o.o_closed <- true;
         let s = o.o_sink in
         s.depth <- s.depth - 1;
+        let g = Gc.quick_stat () in
+        let dur_ns = Int64.sub (Clock.now_ns ()) o.o_t0 in
+        let gc_attrs =
+          [
+            ("gc.minor_words", Span.Float (g.Gc.minor_words -. o.o_gc_minor));
+            ("gc.major_words", Span.Float (g.Gc.major_words -. o.o_gc_major));
+            ( "gc.major_collections",
+              Span.Int (g.Gc.major_collections - o.o_gc_colls) );
+          ]
+        in
         s.revents <-
           Span.Complete
             {
               name = o.o_name;
               ts_ns = o.o_t0;
-              dur_ns = Int64.sub (Clock.now_ns ()) o.o_t0;
+              dur_ns;
               depth = o.o_depth;
-              attrs = o.o_attrs @ attrs;
+              attrs = o.o_attrs @ attrs @ gc_attrs;
             }
-          :: s.revents
+          :: s.revents;
+        !observe_hist s ("span:" ^ o.o_name) (Clock.ns_to_us dur_ns)
       end
 
 let instant ?ts_ns ?(attrs = []) t name =
@@ -118,6 +163,77 @@ let sorted tbl =
 let counters = function Some s -> sorted s.counters | None -> []
 let gauges = function Some s -> sorted s.gauges | None -> []
 
+(* ---- time series ---- *)
+
+let series_slot s name =
+  match Hashtbl.find_opt s.series name with
+  | Some b -> b
+  | None ->
+      let b =
+        { sb_rsamples = []; sb_len = 0; sb_stride = 1; sb_skip = 0; sb_total = 0 }
+      in
+      Hashtbl.add s.series name b;
+      b
+
+(* Halve a full buffer, keeping chronologically even-indexed samples so
+   coverage stays uniform over the run. *)
+let decimate b =
+  let a = Array.of_list b.sb_rsamples in
+  (* a.(0) is newest; chronological index of a.(j) is len-1-j *)
+  let keep = ref [] in
+  for j = 0 to Array.length a - 1 do
+    if (Array.length a - 1 - j) mod 2 = 0 then keep := a.(j) :: !keep
+  done;
+  b.sb_rsamples <- List.rev !keep;
+  b.sb_len <- List.length b.sb_rsamples;
+  b.sb_stride <- b.sb_stride * 2
+
+let sample t name v =
+  match t with
+  | None -> ()
+  | Some s ->
+      let b = series_slot s name in
+      b.sb_total <- b.sb_total + 1;
+      if b.sb_skip > 0 then b.sb_skip <- b.sb_skip - 1
+      else begin
+        b.sb_rsamples <- (Clock.now_ns (), v) :: b.sb_rsamples;
+        b.sb_len <- b.sb_len + 1;
+        if b.sb_len >= series_cap then decimate b;
+        b.sb_skip <- b.sb_stride - 1
+      end
+
+let series = function
+  | None -> []
+  | Some s ->
+      Hashtbl.fold
+        (fun name b acc ->
+          (name, Array.of_list (List.rev b.sb_rsamples), b.sb_total) :: acc)
+        s.series []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* ---- histograms ---- *)
+
+let hist_slot s name =
+  match Hashtbl.find_opt s.hists name with
+  | Some h -> h
+  | None ->
+      let h = Metrics.Histogram.create () in
+      Hashtbl.add s.hists name h;
+      h
+
+let () = observe_hist := fun s name v -> Metrics.Histogram.add (hist_slot s name) v
+
+let observe t name v =
+  match t with
+  | None -> ()
+  | Some s -> Metrics.Histogram.add (hist_slot s name) v
+
+let histograms = function
+  | None -> []
+  | Some s ->
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) s.hists []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 module Counter = struct
   type t = float ref
 
@@ -153,6 +269,8 @@ let with_ambient t f =
 let ambient () = Domain.DLS.get ambient_key
 let emit name v = add (Domain.DLS.get ambient_key) name v
 let emit_set name v = set (Domain.DLS.get ambient_key) name v
+let emit_sample name v = sample (Domain.DLS.get ambient_key) name v
+let emit_observe name v = observe (Domain.DLS.get ambient_key) name v
 
 let with_span ?attrs t name f =
   match t with

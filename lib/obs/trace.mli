@@ -39,7 +39,15 @@ val begin_span : ?attrs:(string * Span.attr) list -> t -> string -> span
 
 val end_span : ?attrs:(string * Span.attr) list -> span -> unit
 (** Records the completed span; [attrs] are appended to the open-time
-    attributes.  Closing a span twice is a no-op. *)
+    attributes.  Closing a span twice is a no-op.
+
+    Every closed span additionally carries allocation accounting —
+    [gc.minor_words] / [gc.major_words] (floats) and
+    [gc.major_collections] (int) attrs, deltas of [Gc.quick_stat]
+    between open and close — and feeds its duration (µs) into the
+    [span:<name>] histogram of its sink.  [Gc.quick_stat] is
+    domain-local: allocation a span delegates to other domains is
+    charged to those domains, not to the span. *)
 
 val with_span : ?attrs:(string * Span.attr) list -> t -> string -> (unit -> 'a) -> 'a
 (** [with_span t name f] runs [f] inside a span, closing it even when [f]
@@ -70,6 +78,37 @@ val counters : t -> (string * float) list
 (** Name-sorted.  Empty for {!null}. *)
 
 val gauges : t -> (string * float) list
+(** Name-sorted.  Empty for {!null}. *)
+
+(** {2 Time series}
+
+    Timestamped convergence probes (annealer temperature, PathFinder
+    overflow per iteration, SAT conflicts per solve, ...).  Buffers are
+    bounded: past 4096 samples a series is decimated — every other
+    retained sample dropped and the recording stride doubled — so
+    retained samples stay spread over the whole run. *)
+
+val sample : t -> string -> float -> unit
+(** Append a [(now, v)] sample to the named series (registered on first
+    use).  No-op on {!null}. *)
+
+val series : t -> (string * (int64 * float) array * int) list
+(** Name-sorted [(name, samples, offered)] triples; [samples] are in
+    chronological order and [offered] counts every {!sample} call,
+    including ones dropped by decimation.  Empty for {!null}. *)
+
+(** {2 Histograms}
+
+    Distribution probes (per-net wirelength, occupancy solve cost,
+    queue waits) recorded into {!Metrics.Histogram} slots; span
+    durations feed [span:<name>] histograms automatically. *)
+
+val observe : t -> string -> float -> unit
+(** Add a sample to the named histogram (registered on first use).
+    Non-finite samples are rejected by the histogram.  No-op on
+    {!null}. *)
+
+val histograms : t -> (string * Metrics.Histogram.t) list
 (** Name-sorted.  Empty for {!null}. *)
 
 (** Handle-style counter: resolve the registry slot once, bump it from a
@@ -108,3 +147,9 @@ val emit : string -> float -> unit
 
 val emit_set : string -> float -> unit
 (** [set] on the ambient trace; no-op when none is installed. *)
+
+val emit_sample : string -> float -> unit
+(** [sample] on the ambient trace; no-op when none is installed. *)
+
+val emit_observe : string -> float -> unit
+(** [observe] on the ambient trace; no-op when none is installed. *)

@@ -503,6 +503,8 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
         (Occupancy.cache_hits ctx.cache);
       emit_moves iterations 0;
       emit_guards (Occupancy.guard_checks ctx.cache);
+      Vpga_obs.Trace.emit_sample "refine.region_accepted"
+        (float_of_int accepted);
       {
         moves = iterations;
         accepted;
@@ -586,10 +588,16 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
          for the outcome). *)
       let accepted = ref 0 in
       let fits = ref 0 and hits = ref 0 and guards = ref 0 in
+      (* Per-region accepted-moves series, sampled on the calling domain
+         during the deterministic region-order merge — worker domains
+         never see the ambient trace, so this is the one place the
+         samples are both ordered and visible. *)
       List.iter
         (function
           | None -> ()
           | Some (ctx, acc) ->
+              Vpga_obs.Trace.emit_sample "refine.region_accepted"
+                (float_of_int acc);
               accepted := !accepted + acc;
               fits := !fits + Occupancy.fits_calls ctx.cache;
               hits := !hits + Occupancy.cache_hits ctx.cache;
@@ -617,6 +625,8 @@ let run ?iterations ?(radius = 4) ?criticality ?(jobs = 1) ?(regions = 1)
         (!hits + Occupancy.cache_hits bctx.cache);
       emit_moves region_total boundary_iters;
       emit_guards (!guards + Occupancy.guard_checks bctx.cache);
+      Vpga_obs.Trace.emit_sample "refine.boundary_accepted"
+        (float_of_int bacc);
       {
         moves = iterations;
         accepted = !accepted + bacc;

@@ -9,6 +9,7 @@ type stats = {
   tasks : int;
   queue_wait_ns : int64;
   busy_ns : int64 array;
+  wait_samples_ns : int64 array;
 }
 
 type t = {
@@ -23,6 +24,7 @@ type t = {
      stays negligible next to task cost. *)
   mutable tasks_run : int;
   mutable wait_ns : int64;
+  mutable rwait_samples : int64 list; (* per-task queue wait, newest first *)
   worker_busy_ns : int64 array;
 }
 
@@ -60,6 +62,7 @@ let rec worker p i =
       Mutex.lock p.lock;
       p.tasks_run <- p.tasks_run + 1;
       p.wait_ns <- Int64.add p.wait_ns (Int64.sub deq_ns enq_ns);
+      p.rwait_samples <- Int64.sub deq_ns enq_ns :: p.rwait_samples;
       p.worker_busy_ns.(i) <-
         Int64.add p.worker_busy_ns.(i) (Int64.sub done_ns deq_ns);
       Mutex.unlock p.lock;
@@ -80,6 +83,7 @@ let create ?capacity ~jobs () =
       stopped = false;
       tasks_run = 0;
       wait_ns = 0L;
+      rwait_samples = [];
       worker_busy_ns = Array.make jobs 0L;
     }
   in
@@ -93,6 +97,7 @@ let stats p =
       tasks = p.tasks_run;
       queue_wait_ns = p.wait_ns;
       busy_ns = Array.copy p.worker_busy_ns;
+      wait_samples_ns = Array.of_list (List.rev p.rwait_samples);
     }
   in
   Mutex.unlock p.lock;
@@ -217,7 +222,14 @@ let run_stats ?jobs thunks =
           v)
         thunks
     in
-    (results, { tasks = n; queue_wait_ns = 0L; busy_ns = [| !busy |] })
+    ( results,
+      {
+        tasks = n;
+        queue_wait_ns = 0L;
+        busy_ns = [| !busy |];
+        (* inline tasks never queue: n waits of exactly zero *)
+        wait_samples_ns = Array.make n 0L;
+      } )
   end
   else begin
     let p = create ~jobs:(min jobs n) () in
@@ -258,3 +270,21 @@ let try_run ?jobs thunks =
   end
 
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+
+(* Publish a stats snapshot onto a trace: scheduling health as gauges,
+   the per-task queue waits as a histogram (so snapshots get p50/p90/p99
+   of queue wait, the [vpga serve] fairness signal). *)
+let publish_stats st tr =
+  let ms ns = Int64.to_float ns /. 1e6 in
+  Vpga_obs.Trace.set tr "pool.tasks" (float_of_int st.tasks);
+  Vpga_obs.Trace.set tr "pool.workers" (float_of_int (Array.length st.busy_ns));
+  Vpga_obs.Trace.set tr "pool.queue_wait_ms" (ms st.queue_wait_ns);
+  Vpga_obs.Trace.set tr "pool.busy_ms_total"
+    (Array.fold_left (fun acc b -> acc +. ms b) 0.0 st.busy_ns);
+  Vpga_obs.Trace.set tr "pool.busy_ms_max"
+    (Array.fold_left (fun acc b -> Float.max acc (ms b)) 0.0 st.busy_ns);
+  Array.iter
+    (fun w ->
+      Vpga_obs.Trace.observe tr "pool.queue_wait_us"
+        (Int64.to_float w /. 1e3))
+    st.wait_samples_ns

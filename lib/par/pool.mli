@@ -30,6 +30,9 @@ type stats = {
       (** total time tasks spent queued (submit to dequeue), summed *)
   busy_ns : int64 array;
       (** per-worker time spent executing tasks, by worker index *)
+  wait_samples_ns : int64 array;
+      (** per-task queue wait, in completion order (all zero for inline
+          [jobs = 1] execution) *)
 }
 (** Pool accounting on the monotonic clock ({!Vpga_obs.Clock}); updated
     once per task, so the cost is invisible next to coarse tasks. *)
@@ -87,3 +90,9 @@ val try_run : ?jobs:int -> (unit -> 'a) list -> ('a, exn) result list
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs = run ~jobs (List.map (fun x () -> f x) xs)]. *)
+
+val publish_stats : stats -> Vpga_obs.Trace.t -> unit
+(** Surface a stats snapshot on a trace: [pool.tasks], [pool.workers],
+    [pool.queue_wait_ms], [pool.busy_ms_total] and [pool.busy_ms_max]
+    gauges, plus every per-task queue wait observed into the
+    [pool.queue_wait_us] histogram.  No-op on a null trace. *)

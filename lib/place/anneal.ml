@@ -88,6 +88,12 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
     let n_touched = ref 0 in
     let window_w = ref (pl.Placement.die_w /. 2.0) in
     let window_h = ref (pl.Placement.die_h /. 2.0) in
+    (* Convergence series: ~64 samples per walk of temperature, running
+       cost, and acceptance rate over the sampling window.  Sampling
+       never touches [rng], so traced and untraced walks are
+       move-for-move identical. *)
+    let sample_every = max 1 (iterations / 64) in
+    let accepted_at_sample = ref 0 in
     for step = 1 to iterations do
       let id = movable.(Random.State.int rng n_cells) in
       let swap = Random.State.bool rng && n_cells > 1 in
@@ -194,6 +200,14 @@ let refine ?iterations ?(t_start = 0.0) ?(t_end = 0.0) ?criticality ~seed pl =
         | None -> ()
       end;
       temp := !temp *. alpha;
+      if step mod sample_every = 0 then begin
+        Vpga_obs.Trace.emit_sample "anneal.temperature" !temp;
+        Vpga_obs.Trace.emit_sample "anneal.cost" !total;
+        Vpga_obs.Trace.emit_sample "anneal.acceptance"
+          (float_of_int (!accepted - !accepted_at_sample)
+          /. float_of_int sample_every);
+        accepted_at_sample := !accepted
+      end;
       if step mod (max 1 (iterations / 20)) = 0 then begin
         window_w := max (pl.Placement.die_w /. 50.0) (!window_w *. 0.8);
         window_h := max (pl.Placement.die_h /. 50.0) (!window_h *. 0.8)

@@ -156,6 +156,22 @@ let solve c items =
   in
   assign Vector.zero [] items
 
+(* Reference-solver fallback, with its cost observed into the ambient
+   trace's "occupancy.solve_us" histogram — the memoized backtracking
+   misses are exactly the probes worth watching.  The clock is only read
+   when a trace is installed, so untraced packing keeps the bare
+   memo-miss path. *)
+let timed_solve c items =
+  let tr = Vpga_obs.Trace.ambient () in
+  if Vpga_obs.Trace.enabled tr then begin
+    let t0 = Vpga_obs.Clock.now_ns () in
+    let r = solve c items in
+    Vpga_obs.Trace.observe tr "occupancy.solve_us"
+      (Vpga_obs.Clock.ns_to_us (Int64.sub (Vpga_obs.Clock.now_ns ()) t0));
+    r
+  end
+  else solve c items
+
 let fast_alt t (it : Packer.item) =
   let cap = t.cache.arch.Arch.capacity in
   let rec go = function
@@ -180,7 +196,7 @@ let query t it =
         c.cache_hits <- c.cache_hits + 1;
         b
     | None ->
-        let b = solve c (it :: items t) <> None in
+        let b = timed_solve c (it :: items t) <> None in
         Hashtbl.add c.memo key b;
         b
   end
@@ -245,7 +261,7 @@ let query_replacing t ~without it =
               List.rev_append acc (List.map (fun s -> s.s_item) rest)
           | s :: rest -> drop_one (s.s_item :: acc) rest
         in
-        let b = solve c (it :: drop_one [] t.slots) <> None in
+        let b = timed_solve c (it :: drop_one [] t.slots) <> None in
         Hashtbl.add c.memo key b;
         b
   end

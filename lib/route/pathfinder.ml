@@ -40,6 +40,8 @@ let route_placement ?grid_cols ?capacity ?tracks ?(max_iterations = 30) pl =
   let rec negotiate iter pres_fac =
     route_pass ~pres_fac;
     let ov = Grid.overflow grid in
+    (* Convergence series: overflow after each rip-up/re-route pass. *)
+    Vpga_obs.Trace.emit_sample "route.overflow_iter" (float_of_int ov);
     if ov = 0 || iter >= max_iterations then (iter, ov)
     else begin
       (* accumulate history on congested edges *)
@@ -70,6 +72,10 @@ let route_placement ?grid_cols ?capacity ?tracks ?(max_iterations = 30) pl =
         })
       net_list
   in
+  List.iter
+    (fun rt ->
+      Vpga_obs.Trace.emit_observe "route.net_wirelength_um" rt.Router.wirelength)
+    routes;
   { grid; routes; iterations; final_overflow }
 
 let total_wirelength r =

@@ -358,7 +358,11 @@ let emit_stats st =
   Vpga_obs.Trace.emit "sat.solves" 1.0;
   Vpga_obs.Trace.emit "sat.conflicts" (float_of_int st.conflicts);
   Vpga_obs.Trace.emit "sat.decisions" (float_of_int st.decisions);
-  Vpga_obs.Trace.emit "sat.propagations" (float_of_int st.propagations)
+  Vpga_obs.Trace.emit "sat.propagations" (float_of_int st.propagations);
+  (* Conflict-rate series: one sample per solve, so a verify stage's
+     hardness profile over time is visible, not just its total. *)
+  Vpga_obs.Trace.emit_sample "sat.conflicts_per_solve"
+    (float_of_int st.conflicts)
 
 let solve_stats ?max_conflicts ~nvars clauses =
   let r, s = solve_counted ?max_conflicts ~nvars clauses in

@@ -13,6 +13,7 @@ module Span = Vpga_obs.Span
 module Trace = Vpga_obs.Trace
 module Json = Vpga_obs.Json
 module Export = Vpga_obs.Export
+module Metrics = Vpga_obs.Metrics
 module Pool = Vpga_par.Pool
 module Log = Vpga_resil.Log
 module Arch = Vpga_plb.Arch
@@ -334,6 +335,319 @@ let test_pool_run_stats () =
   Alcotest.(check bool) "inline no queue wait" true
     (st1.Pool.queue_wait_ns = 0L)
 
+(* --- Histograms ------------------------------------------------------- *)
+
+let test_histogram_empty_and_single () =
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Metrics.Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty p50" 0.0
+    (Metrics.Histogram.percentile h 50.0);
+  Alcotest.(check bool) "empty bins" true (Metrics.Histogram.bins h = []);
+  Metrics.Histogram.add h 42.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "single sample p%g" p)
+        42.0
+        (Metrics.Histogram.percentile h p))
+    [ 50.0; 90.0; 99.0 ];
+  Alcotest.(check (float 0.0)) "single min" 42.0
+    (Metrics.Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "single max" 42.0
+    (Metrics.Histogram.max_value h)
+
+let test_histogram_rejects_non_finite () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h 1.0;
+  Metrics.Histogram.add h Float.nan;
+  Metrics.Histogram.add h Float.infinity;
+  Metrics.Histogram.add h Float.neg_infinity;
+  Metrics.Histogram.add h 2.0;
+  Alcotest.(check int) "finite samples kept" 2 (Metrics.Histogram.count h);
+  Alcotest.(check int) "non-finite rejected" 3 (Metrics.Histogram.rejected h);
+  Alcotest.(check (float 0.0)) "mean unpolluted" 1.5 (Metrics.Histogram.mean h)
+
+let test_histogram_percentiles_exact () =
+  (* 1..100: nearest-rank pK is exactly K. *)
+  let h = Metrics.Histogram.create () in
+  for i = 100 downto 1 do
+    Metrics.Histogram.add h (float_of_int i)
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0)) (Printf.sprintf "p%g" p) p
+        (Metrics.Histogram.percentile h p))
+    [ 1.0; 50.0; 90.0; 99.0; 100.0 ]
+
+let test_histogram_bins_monotone () =
+  let h = Metrics.Histogram.create () in
+  (* Samples across several decades, plus a non-positive one for the
+     underflow bin. *)
+  List.iter (Metrics.Histogram.add h)
+    [ 0.0; 0.003; 0.4; 1.0; 7.0; 7.1; 250.0; 9_000.0; 9_001.0; 1e6 ];
+  let bins = Metrics.Histogram.bins h in
+  Alcotest.(check bool) "has underflow bin" true
+    (match bins with (0.0, 0.0, 1) :: _ -> true | _ -> false);
+  let total = List.fold_left (fun a (_, _, n) -> a + n) 0 bins in
+  Alcotest.(check int) "bin counts partition the samples"
+    (Metrics.Histogram.count h) total;
+  let rec monotone = function
+    | (lo1, hi1, _) :: ((lo2, hi2, _) :: _ as rest) ->
+        lo1 < hi1 && lo1 < lo2 && hi1 <= lo2 && lo2 < hi2 && monotone rest
+    | [ (lo, hi, _) ] -> lo < hi || (lo = 0.0 && hi = 0.0)
+    | [] -> true
+  in
+  (* Skip the underflow sentinel when checking edge monotonicity. *)
+  let regular = List.filter (fun (_, hi, _) -> hi > 0.0) bins in
+  Alcotest.(check bool) "edges strictly increasing" true (monotone regular);
+  (* Every positive sample falls inside its bin's [lo, hi). *)
+  List.iter
+    (fun (lo, hi, _) ->
+      Alcotest.(check bool) "bin nonempty by construction" true (lo < hi))
+    regular
+
+let test_histogram_merge () =
+  let a = Metrics.Histogram.create () and b = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Metrics.Histogram.add b) [ 3.0; Float.nan ];
+  Metrics.Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 3 (Metrics.Histogram.count a);
+  Alcotest.(check int) "merged rejects" 1 (Metrics.Histogram.rejected a);
+  Alcotest.(check (float 0.0)) "merged p99" 3.0
+    (Metrics.Histogram.percentile a 99.0)
+
+(* --- Series ----------------------------------------------------------- *)
+
+let test_series_ordering_and_decimation () =
+  let t = Trace.create () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Trace.sample t "probe" (float_of_int i)
+  done;
+  (match Trace.series t with
+  | [ ("probe", samples, offered) ] ->
+      Alcotest.(check int) "every offer counted" n offered;
+      Alcotest.(check bool) "decimated below the cap" true
+        (Array.length samples <= 4096);
+      Alcotest.(check bool) "kept a substantial fraction" true
+        (Array.length samples >= 1024);
+      (* Chronological: timestamps and (here) values non-decreasing. *)
+      for i = 1 to Array.length samples - 1 do
+        let t0, v0 = samples.(i - 1) and t1, v1 = samples.(i) in
+        if Int64.compare t0 t1 > 0 then Alcotest.fail "timestamps regressed";
+        if v0 >= v1 then Alcotest.fail "sample order lost"
+      done;
+      (* Decimation keeps whole-run coverage, not just a prefix. *)
+      let _, last = samples.(Array.length samples - 1) in
+      Alcotest.(check bool) "tail survives decimation" true
+        (last >= float_of_int n *. 0.9)
+  | other ->
+      Alcotest.failf "expected one series, got %d" (List.length other));
+  (* Ambient emission lands on the installed trace; no-op outside. *)
+  Trace.emit_sample "ambient" 1.0;
+  let t2 = Trace.create () in
+  Trace.with_ambient t2 (fun () -> Trace.emit_sample "ambient" 2.0);
+  match Trace.series t2 with
+  | [ ("ambient", samples, 1) ] ->
+      Alcotest.(check int) "one ambient sample" 1 (Array.length samples)
+  | _ -> Alcotest.fail "ambient sample did not land"
+
+let test_observe_feeds_histograms () =
+  let t = Trace.create () in
+  Trace.observe t "net_wl" 10.0;
+  Trace.observe t "net_wl" 20.0;
+  Trace.with_ambient t (fun () -> Trace.emit_observe "net_wl" 30.0);
+  match Trace.histograms t with
+  | [ ("net_wl", h) ] ->
+      Alcotest.(check int) "three observations" 3 (Metrics.Histogram.count h);
+      Alcotest.(check (float 0.0)) "p99 is max" 30.0
+        (Metrics.Histogram.percentile h 99.0)
+  | other -> Alcotest.failf "expected one histogram, got %d" (List.length other)
+
+(* --- GC accounting ---------------------------------------------------- *)
+
+let test_span_gc_deltas_non_negative () =
+  let t = Trace.create () in
+  let sink = Sys.opaque_identity (ref []) in
+  (* quick_stat's minor-word counter only refreshes at collection
+     boundaries in native code, so force a minor collection after each
+     span's allocation to make the per-span delta observable. *)
+  let churn () =
+    sink := List.init 10_000 (fun i -> string_of_int i) :: !sink;
+    Gc.minor ()
+  in
+  Trace.with_span t "outer" (fun () ->
+      churn ();
+      Trace.with_span t "inner" (fun () -> churn ()));
+  let checked = ref 0 in
+  List.iter
+    (function
+      | Span.Complete { name; attrs; _ } ->
+          let fattr k =
+            match List.assoc_opt k attrs with
+            | Some (Span.Float f) -> f
+            | _ -> Alcotest.failf "%s: missing %s" name k
+          in
+          let iattr k =
+            match List.assoc_opt k attrs with
+            | Some (Span.Int i) -> i
+            | _ -> Alcotest.failf "%s: missing %s" name k
+          in
+          incr checked;
+          Alcotest.(check bool) (name ^ " minor_words >= 0") true
+            (fattr "gc.minor_words" >= 0.0);
+          Alcotest.(check bool) (name ^ " major_words >= 0") true
+            (fattr "gc.major_words" >= 0.0);
+          Alcotest.(check bool) (name ^ " collections >= 0") true
+            (iattr "gc.major_collections" >= 0);
+          (* Both spans allocated ~10k list cells: the minor delta cannot
+             be zero. *)
+          Alcotest.(check bool) (name ^ " saw the allocation") true
+            (fattr "gc.minor_words" > 0.0)
+      | Span.Instant _ -> ())
+    (Trace.events t);
+  Alcotest.(check int) "both spans carried GC attrs" 2 !checked
+
+(* --- Metrics snapshot and diff ---------------------------------------- *)
+
+let test_snapshot_valid_and_diff_clean () =
+  let t, _ = traced_flow () in
+  let doc = Export.snapshot ~label:"test" [ t ] in
+  (match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "snapshot is not valid JSON: %s" e
+  | Ok doc' ->
+      Alcotest.(check bool) "schema tagged" true
+        (Json.member "schema" doc' = Some (Json.Str "vpga-metrics/1"));
+      (match Json.member "counters" doc' with
+      | Some (Json.Obj fields) ->
+          Alcotest.(check bool) "counters populated" true (fields <> [])
+      | _ -> Alcotest.fail "no counters object");
+      match Json.member "histograms" doc' with
+      | Some (Json.Obj fields) ->
+          Alcotest.(check bool) "span histograms present" true
+            (List.exists (fun (k, _) -> k = "span:flow") fields)
+      | _ -> Alcotest.fail "no histograms object");
+  (* A snapshot diffed against itself never regresses. *)
+  let deltas = Metrics.diff ~base:doc ~current:doc () in
+  Alcotest.(check bool) "self-diff compares something" true (deltas <> []);
+  Alcotest.(check int) "self-diff is clean" 0
+    (List.length (Metrics.regressions deltas))
+
+let counters_snap kvs =
+  Json.Obj
+    [
+      ("schema", Json.Str "vpga-metrics/1");
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs));
+    ]
+
+let test_diff_flags_seeded_regression () =
+  let base = counters_snap [ ("route.ripups", 100.0) ] in
+  let bad = counters_snap [ ("route.ripups", 1000.0) ] in
+  let deltas = Metrics.diff ~tolerance:0.25 ~base ~current:bad () in
+  (match Metrics.regressions deltas with
+  | [ d ] ->
+      Alcotest.(check string) "key" "counter route.ripups" d.Metrics.d_key;
+      Alcotest.(check bool) "flagged" true d.Metrics.d_regressed
+  | other -> Alcotest.failf "expected 1 regression, got %d" (List.length other));
+  (* A generous tolerance absorbs the same change... *)
+  Alcotest.(check int) "tolerance respected" 0
+    (List.length
+       (Metrics.regressions (Metrics.diff ~tolerance:20.0 ~base ~current:bad ())));
+  (* ...improvements never flag... *)
+  Alcotest.(check int) "improvement is not a regression" 0
+    (List.length
+       (Metrics.regressions (Metrics.diff ~base:bad ~current:base ())));
+  (* ...and a counter appearing from a zero baseline does. *)
+  let appeared = counters_snap [ ("route.ripups", 100.0); ("new", 1.0) ] in
+  Alcotest.(check int) "new-from-zero flags" 1
+    (List.length
+       (Metrics.regressions (Metrics.diff ~base ~current:appeared ())))
+
+let test_diff_time_noise_floor () =
+  (* Sub-floor timings are measurement noise: a huge relative change on a
+     microscopic baseline must not flag; the same ratio above the floor
+     must. *)
+  let hist_snap p50 =
+    Json.Obj
+      [
+        ("schema", Json.Str "vpga-metrics/1");
+        ( "histograms",
+          Json.Obj
+            [
+              ( "span:blink_us",
+                Json.Obj [ ("count", Json.Num 1.0); ("p50", Json.Num p50) ] );
+            ] );
+      ]
+  in
+  Alcotest.(check int) "sub-floor jitter ignored" 0
+    (List.length
+       (Metrics.regressions
+          (Metrics.diff ~base:(hist_snap 5.0) ~current:(hist_snap 500.0) ())));
+  Alcotest.(check int) "sub-floor span duration ignored" 0
+    (List.length
+       (Metrics.regressions
+          (Metrics.diff ~base:(hist_snap 5000.0) ~current:(hist_snap 9000.0) ())));
+  Alcotest.(check int) "above the floor it flags" 1
+    (List.length
+       (Metrics.regressions
+          (Metrics.diff ~base:(hist_snap 50_000.0)
+             ~current:(hist_snap 500_000.0) ())))
+
+let test_report_json_shape () =
+  let t, _ = traced_flow () in
+  let rep = Export.report_json (Export.chrome [ t ]) in
+  match Json.parse (Json.to_string rep) with
+  | Error e -> Alcotest.failf "report JSON invalid: %s" e
+  | Ok rep' ->
+      Alcotest.(check bool) "schema tagged" true
+        (Json.member "schema" rep' = Some (Json.Str "vpga-report/1"));
+      (match Json.member "spans" rep' with
+      | Some (Json.Arr rows) ->
+          Alcotest.(check bool) "span rows" true (List.length rows > 3);
+          List.iter
+            (fun row ->
+              List.iter
+                (fun k ->
+                  Alcotest.(check bool) ("span row has " ^ k) true
+                    (Json.member k row <> None))
+                [ "name"; "depth"; "calls"; "total_ms"; "minor_words" ])
+            rows
+      | _ -> Alcotest.fail "no spans array");
+      match Json.member "counters" rep' with
+      | Some (Json.Obj fields) ->
+          Alcotest.(check bool) "counters present" true (fields <> [])
+      | _ -> Alcotest.fail "no counters object"
+
+(* --- Pool wait samples ------------------------------------------------ *)
+
+let test_pool_wait_samples_and_publish () =
+  let tasks = List.init 8 (fun i -> fun () -> Unix.sleepf 0.002; i) in
+  let _, st = Pool.run_stats ~jobs:2 tasks in
+  Alcotest.(check int) "one wait sample per task" 8
+    (Array.length st.Pool.wait_samples_ns);
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "waits non-negative" true (Int64.compare w 0L >= 0))
+    st.Pool.wait_samples_ns;
+  let total = Array.fold_left Int64.add 0L st.Pool.wait_samples_ns in
+  Alcotest.(check bool) "samples sum to the aggregate" true
+    (total = st.Pool.queue_wait_ns);
+  let t = Trace.create () in
+  Pool.publish_stats st t;
+  Alcotest.(check bool) "tasks gauge" true
+    (List.assoc_opt "pool.tasks" (Trace.gauges t) = Some 8.0);
+  (match List.assoc_opt "pool.queue_wait_us" (Trace.histograms t) with
+  | Some h -> Alcotest.(check int) "wait histogram fed" 8
+      (Metrics.Histogram.count h)
+  | None -> Alcotest.fail "no queue-wait histogram");
+  (* Inline execution: defined, all-zero waits. *)
+  let _, st1 = Pool.run_stats ~jobs:1 [ (fun () -> ()); (fun () -> ()) ] in
+  Alcotest.(check int) "inline wait samples" 2
+    (Array.length st1.Pool.wait_samples_ns);
+  Array.iter
+    (fun w -> Alcotest.(check bool) "inline waits zero" true (w = 0L))
+    st1.Pool.wait_samples_ns
+
 (* --- Resil log timestamps --------------------------------------------- *)
 
 let test_log_timestamps () =
@@ -399,11 +713,48 @@ let () =
             test_report_rendering;
           Alcotest.test_case "stage totals" `Quick test_stage_totals;
         ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "empty and single sample" `Quick
+            test_histogram_empty_and_single;
+          Alcotest.test_case "non-finite rejection" `Quick
+            test_histogram_rejects_non_finite;
+          Alcotest.test_case "exact nearest-rank percentiles" `Quick
+            test_histogram_percentiles_exact;
+          Alcotest.test_case "log bins monotone and complete" `Quick
+            test_histogram_bins_monotone;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "ordering and decimation" `Quick
+            test_series_ordering_and_decimation;
+          Alcotest.test_case "observe feeds histograms" `Quick
+            test_observe_feeds_histograms;
+        ] );
+      ( "gc accounting",
+        [
+          Alcotest.test_case "span deltas non-negative" `Quick
+            test_span_gc_deltas_non_negative;
+        ] );
+      ( "metrics diff",
+        [
+          Alcotest.test_case "snapshot valid, self-diff clean" `Quick
+            test_snapshot_valid_and_diff_clean;
+          Alcotest.test_case "seeded regression flags" `Quick
+            test_diff_flags_seeded_regression;
+          Alcotest.test_case "time noise floor" `Quick
+            test_diff_time_noise_floor;
+          Alcotest.test_case "report --json shape" `Quick
+            test_report_json_shape;
+        ] );
       ( "sweep",
         [
           Alcotest.test_case "counters jobs=1 == jobs=4" `Slow
             test_sweep_counters_jobs_independent;
           Alcotest.test_case "pool run_stats" `Quick test_pool_run_stats;
+          Alcotest.test_case "pool wait samples + publish" `Quick
+            test_pool_wait_samples_and_publish;
         ] );
       ( "resil log",
         [ Alcotest.test_case "timestamps" `Quick test_log_timestamps ] );
