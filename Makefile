@@ -21,10 +21,14 @@
 #   make metricsdiff  run the same flow fresh and gate it against
 #                   BENCH_metrics.json with `vpga perf diff` at 50%
 #                   tolerance; exits nonzero on regression
+#   make cachecheck   end-to-end stage-cache self-test: one flow cold
+#                   against a throwaway disk store, rerun warm from a
+#                   fresh process, assert a nonzero hit rate and
+#                   identical outcomes; exits nonzero on divergence
 #   make check      the full pre-merge gate: build, test suite, the
 #                   static-analysis suite, the defect-stress matrix, the
-#                   metrics snapshot diff, then the kernel perf
-#                   regression diff at 25% tolerance
+#                   stage-cache self-test, the metrics snapshot diff,
+#                   then the kernel perf regression diff at 25% tolerance
 #   make trace      run one traced flow (alu / granular) and write
 #                   trace.json -- open it at https://ui.perfetto.dev or
 #                   summarize with `dune exec bin/vpga.exe -- report trace.json`
@@ -32,7 +36,7 @@
 JOBS ?=
 TOLERANCE ?=
 
-.PHONY: all build test verify faults obs analyze bench perfdiff stress metrics metricsdiff check trace clean
+.PHONY: all build test verify faults obs analyze bench perfdiff stress metrics metricsdiff cachecheck check trace clean
 
 all: build test
 
@@ -78,11 +82,15 @@ metricsdiff:
 	dune exec bin/vpga.exe -- perf diff BENCH_metrics.json _metrics_current.json --tolerance 0.5
 	rm -f _metrics_current.json
 
+cachecheck:
+	dune exec bin/vpga.exe -- cache check
+
 check:
 	dune build
 	dune build @runtest
 	dune build @analyze
 	$(MAKE) stress
+	$(MAKE) cachecheck
 	$(MAKE) metricsdiff
 	$(MAKE) perfdiff TOLERANCE=0.25
 

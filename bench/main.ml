@@ -55,6 +55,29 @@ let sweep_percentiles : (string * (int * float * float * float)) list ref =
   ref []
 let robustness : Minchan.report option ref = ref None
 
+(* E16, the stage cache: cold vs warm wall for the jobs=1 paper sweep
+   (acceptance: warm well under half of cold), plus a load-generator run
+   of mixed repeated/overlapping Test-scale requests with per-request
+   latency percentiles split by cold (first occurrence) vs warm. *)
+type cache_sweep = {
+  cs_cold_s : float;
+  cs_warm_s : float;
+  cs_hits : int;
+  cs_lookups : int;
+  cs_identical : bool;
+}
+
+type cache_load = {
+  cl_requests : int;
+  cl_distinct : int;
+  cl_hit_rate : float;
+  cl_cold_ms : int * float * float * float;  (** count, p50, p90, p99 *)
+  cl_warm_ms : int * float * float * float;
+}
+
+let cache_sweep : cache_sweep option ref = ref None
+let cache_load : cache_load option ref = ref None
+
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
@@ -130,7 +153,96 @@ let reproduce_tables () =
     Minchan.stress ~seed:1 ~jobs:!jobs ~maps_per_rate:2 Experiments.Test
   in
   robustness := Some rep;
-  Format.printf "%a@." Minchan.pp_report rep
+  Format.printf "%a@." Minchan.pp_report rep;
+  section "E16: Content-addressed stage cache (cold vs warm, load generator)";
+  (* Cold vs warm: the same jobs=1 paper sweep twice against one shared
+     cache.  The warm run must replay every stage from the store with
+     identical outcomes — the memoization contract, timed end to end. *)
+  let cache = Cache.create () in
+  let timed_sweep () =
+    let t0 = Unix.gettimeofday () in
+    let reports = Experiments.run_tasks ~seed:1 ~jobs:1 ~cache Experiments.Paper in
+    (Unix.gettimeofday () -. t0, reports)
+  in
+  let cold_s, cold_reports = timed_sweep () in
+  let warm_s, warm_reports = timed_sweep () in
+  let cs = Cache.stats cache in
+  let identical =
+    List.for_all2
+      (fun (a : Experiments.task_report) b ->
+        compare a.Experiments.t_result b.Experiments.t_result = 0)
+      cold_reports warm_reports
+  in
+  cache_sweep :=
+    Some
+      {
+        cs_cold_s = cold_s;
+        cs_warm_s = warm_s;
+        cs_hits = cs.Cache.hits;
+        cs_lookups = cs.Cache.hits + cs.Cache.misses;
+        cs_identical = identical;
+      };
+  Format.printf
+    "paper sweep (jobs=1): cold %.2f s, warm %.2f s (%.0f%% of cold); %d \
+     hit(s) in %d lookup(s); outcomes %s@."
+    cold_s warm_s
+    (100.0 *. warm_s /. cold_s)
+    cs.Cache.hits
+    (cs.Cache.hits + cs.Cache.misses)
+    (if identical then "identical" else "DIVERGED");
+  (* Load generator: a deterministic pseudo-random stream of requests
+     over a pool of (design, arch, seed) jobs, many repeated, all served
+     by one shared cache — the memoized-service shape rather than the
+     batch-sweep shape. *)
+  let pool =
+    List.concat_map
+      (fun (_, nl) ->
+        List.concat_map
+          (fun arch -> List.map (fun seed -> (nl, arch, seed)) [ 1; 2; 3 ])
+          [ Arch.lut_plb; Arch.granular_plb ])
+      (Experiments.designs Experiments.Test)
+  in
+  let pool = Array.of_list pool in
+  let n_requests = 240 in
+  let rng = Random.State.make [| 0xC0FFEE; 16 |] in
+  let cache = Cache.create () in
+  let seen = Hashtbl.create 64 in
+  let cold_h = Obs.Metrics.Histogram.create () in
+  let warm_h = Obs.Metrics.Histogram.create () in
+  for _ = 1 to n_requests do
+    let i = Random.State.int rng (Array.length pool) in
+    let nl, arch, seed = pool.(i) in
+    let t0 = Unix.gettimeofday () in
+    ignore (Flow.run ~seed ~cache arch nl);
+    let ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let h = if Hashtbl.mem seen i then warm_h else cold_h in
+    Hashtbl.replace seen i ();
+    Obs.Metrics.Histogram.add h ms
+  done;
+  let cs = Cache.stats cache in
+  let pctl h =
+    Obs.Metrics.Histogram.
+      (count h, percentile h 50.0, percentile h 90.0, percentile h 99.0)
+  in
+  cache_load :=
+    Some
+      {
+        cl_requests = n_requests;
+        cl_distinct = Hashtbl.length seen;
+        cl_hit_rate = Cache.hit_rate cs;
+        cl_cold_ms = pctl cold_h;
+        cl_warm_ms = pctl warm_h;
+      };
+  let pp_pctl name (count, p50, p90, p99) =
+    Format.printf "  %-14s %4d request(s)  p50 %7.2f ms  p90 %7.2f ms  p99 %7.2f ms@."
+      name count p50 p90 p99
+  in
+  Format.printf
+    "load generator: %d request(s) over %d distinct job(s), hit rate %.0f%%@."
+    n_requests (Hashtbl.length seen)
+    (100.0 *. Cache.hit_rate cs);
+  pp_pctl "cold (first)" (pctl cold_h);
+  pp_pctl "warm (repeat)" (pctl warm_h)
 
 (* ---- Bechamel micro-benchmarks: one per experiment/table kernel ---- *)
 
@@ -231,6 +343,21 @@ let bench_tests =
       (Staged.stage (fun () ->
            let b = Aig.of_netlist (Lazy.force alu8) in
            ignore (Flowmap.labels b.Aig.aig ~k:3)));
+    (* E16 kernel: a fully warm flow — every stage a cache hit — so the
+       hit path (key digesting, Marshal revival, event replay) sits under
+       the same perfdiff gate as the compute kernels. *)
+    Test.make ~name:"cache_warm_flow_alu8"
+      (Staged.stage
+         (let warmed =
+            lazy
+              (let c = Cache.create () in
+               ignore (Flow.run ~seed:3 ~cache:c Arch.granular_plb (Lazy.force alu8));
+               c)
+          in
+          fun () ->
+            ignore
+              (Flow.run ~seed:3 ~cache:(Lazy.force warmed) Arch.granular_plb
+                 (Lazy.force alu8))));
   ]
 
 let run_benchmarks () =
@@ -269,7 +396,7 @@ let write_json kernels =
   let oc = open_out !json_path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"vpga-bench-sweep/4\",\n";
+  out "  \"schema\": \"vpga-bench-sweep/5\",\n";
   out "  \"jobs\": %d,\n" !jobs;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"sweep_wall_s\": %.3f,\n" !sweep_seconds;
@@ -313,6 +440,34 @@ let write_json kernels =
   (match !robustness with
   | Some r -> out "  \"robustness\": %s,\n" (Minchan.json_report ~indent:"    " r)
   | None -> ());
+  (* The stage cache's headline numbers: warm-over-cold wall ratio for
+     the jobs=1 paper sweep (the memoization payoff, tracked revision
+     over revision) and the load generator's latency split. *)
+  (match (!cache_sweep, !cache_load) with
+  | Some s, Some l ->
+      out "  \"cache\": {\n";
+      out "    \"sweep_cold_wall_s\": %.3f,\n" s.cs_cold_s;
+      out "    \"sweep_warm_wall_s\": %.3f,\n" s.cs_warm_s;
+      out "    \"warm_over_cold\": %.4f,\n" (s.cs_warm_s /. s.cs_cold_s);
+      out "    \"sweep_hits\": %d,\n" s.cs_hits;
+      out "    \"sweep_lookups\": %d,\n" s.cs_lookups;
+      out "    \"sweep_outcomes_identical\": %b,\n" s.cs_identical;
+      let pctl name (count, p50, p90, p99) last =
+        out
+          "      %S: { \"count\": %d, \"p50\": %.3f, \"p90\": %.3f, \
+           \"p99\": %.3f }%s\n"
+          name count p50 p90 p99
+          (if last then "" else ",")
+      in
+      out "    \"load\": {\n";
+      out "      \"requests\": %d,\n" l.cl_requests;
+      out "      \"distinct_jobs\": %d,\n" l.cl_distinct;
+      out "      \"hit_rate\": %.4f,\n" l.cl_hit_rate;
+      pctl "cold_ms" l.cl_cold_ms false;
+      pctl "warm_ms" l.cl_warm_ms true;
+      out "    }\n";
+      out "  },\n"
+  | _ -> ());
   out "  \"kernels_ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->

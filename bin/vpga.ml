@@ -12,7 +12,8 @@
      vpga analyze -d NAME [-a ARCH]  dataflow analyses over the stages
      vpga report FILE         per-stage summary of a Chrome trace file
      vpga perf diff A B       compare two metrics snapshots, exit 1 past
-                              tolerance *)
+                              tolerance
+     vpga cache ...           stats/clear/gc/check of the stage cache *)
 
 open Cmdliner
 open Vpga_core.Vpga
@@ -185,9 +186,45 @@ let metrics_arg =
            histogram percentiles (p50/p90/p99) and convergence-series \
            summaries.  Compare two snapshots with $(b,vpga perf diff).")
 
+(* --- the content-addressed stage cache ------------------------------- *)
+
+let no_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the content-addressed stage cache, recomputing every \
+           stage.  Results are identical either way (a hit replays the \
+           same deterministic artifact); this is the escape hatch for \
+           timing uncached runs or ruling the cache out while debugging.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist cache entries under $(docv) so later runs start warm \
+           (entries are versioned by schema tag, so stale formats never \
+           match).  Without it the cache lives in memory for the \
+           duration of the run.  Inspect and bound the store with \
+           $(b,vpga cache).")
+
+let cache_term =
+  let mk no dir = if no then Cache.none else Cache.create ?dir () in
+  Term.(const mk $ no_cache_flag $ cache_dir_arg)
+
+let print_cache_stats cache =
+  let cs = Cache.stats cache in
+  let lookups = cs.Cache.hits + cs.Cache.misses in
+  if Cache.enabled cache && lookups > 0 && cs.Cache.hits > 0 then
+    Format.printf "cache: %d hit(s) in %d lookup(s) (%.0f%% hit rate)@."
+      cs.Cache.hits lookups
+      (100.0 *. Cache.hit_rate cs)
+
 let flow_cmd =
   let run paper seed design arch_name verify policy trace_file metrics_file
-      jobs analyze =
+      jobs analyze cache =
     let nl = design_of_name paper design in
     let arch = arch_of_name arch_name in
     let label = design ^ "/" ^ arch_name in
@@ -196,7 +233,9 @@ let flow_cmd =
       | None, None -> Trace.null
       | _ -> Trace.create ~label ()
     in
-    let pair = run_flow ~seed ~verify ~policy ~trace ~jobs ~analyze arch nl in
+    let pair =
+      run_flow ~seed ~verify ~policy ~trace ~jobs ~analyze ~cache arch nl
+    in
     let show (o : Flow.outcome) =
       Format.printf
         "flow %s: die %.0f um^2, cells %.0f um^2, wire %.0f um, top-10 slack %.1f ps, wns %.1f ps%s@."
@@ -212,6 +251,7 @@ let flow_cmd =
       (100.0 *. pair.Flow.a.Flow.compaction_gain);
     show pair.Flow.a;
     show pair.Flow.b;
+    print_cache_stats cache;
     (match trace_file with
     | None -> ()
     | Some file ->
@@ -226,7 +266,8 @@ let flow_cmd =
   Cmd.v (Cmd.info "flow" ~doc:"Run one design through one architecture")
     Term.(
       const run $ paper_flag $ seed_arg $ design_arg $ arch_arg $ verify_arg
-      $ policy_arg $ trace_arg $ metrics_arg $ jobs_arg $ analyze_flag)
+      $ policy_arg $ trace_arg $ metrics_arg $ jobs_arg $ analyze_flag
+      $ cache_term)
 
 let sweep_cmd =
   let verbose_flag =
@@ -237,11 +278,11 @@ let sweep_cmd =
             "Also print the worker pool's accounting: tasks run, total \
              queue wait, and per-worker busy time.")
   in
-  let run paper seed jobs verify policy verbose analyze trace_file =
+  let run paper seed jobs verify policy verbose analyze trace_file cache =
     let traced = trace_file <> None in
     let reports, pstats =
       Experiments.run_tasks_with_stats ~seed ~jobs ~verify ~policy ~analyze
-        ~traced (scale_of paper)
+        ~traced ~cache (scale_of paper)
     in
     let failed =
       List.length (List.filter (fun r -> Result.is_error r.Experiments.t_result) reports)
@@ -270,6 +311,7 @@ let sweep_cmd =
     Format.printf "%d/%d task(s) completed@."
       (List.length reports - failed)
       (List.length reports);
+    print_cache_stats cache;
     if verbose then begin
       let ms ns = Int64.to_float ns /. 1e6 in
       Format.printf "@.pool: %d task(s), total queue wait %.1f ms@."
@@ -302,7 +344,7 @@ let sweep_cmd =
           task failed.")
     Term.(
       const run $ paper_flag $ seed_arg $ jobs_arg $ verify_arg $ policy_arg
-      $ verbose_flag $ analyze_flag $ trace_arg)
+      $ verbose_flag $ analyze_flag $ trace_arg $ cache_term)
 
 let stress_cmd =
   let rates_arg =
@@ -350,7 +392,7 @@ let stress_cmd =
       & info [ "d"; "design" ]
           ~doc:"Restrict the sweep to one design (default: all four).")
   in
-  let run paper seed jobs rates maps w_max dist json design trace_file =
+  let run paper seed jobs rates maps w_max dist json design trace_file cache =
     let scale = scale_of paper in
     let designs =
       match design with
@@ -367,10 +409,13 @@ let stress_cmd =
     let traced = trace_file <> None in
     let report =
       Minchan.stress ~seed ~jobs ~dist ~rates ~maps_per_rate:maps ~w_max
-        ~traced ?designs scale
+        ~traced ~cache ?designs scale
     in
     if json then print_string (Minchan.json_report report)
-    else Format.printf "%a@." Minchan.pp_report report;
+    else begin
+      Format.printf "%a@." Minchan.pp_report report;
+      print_cache_stats cache
+    end;
     match trace_file with
     | None -> ()
     | Some file ->
@@ -388,7 +433,8 @@ let stress_cmd =
           every $(b,--jobs) setting.")
     Term.(
       const run $ paper_flag $ seed_arg $ jobs_arg $ rates_arg $ maps_arg
-      $ wmax_arg $ dist_arg $ json_flag $ design_filter $ trace_arg)
+      $ wmax_arg $ dist_arg $ json_flag $ design_filter $ trace_arg
+      $ cache_term)
 
 let lint_cmd =
   let formal_flag =
@@ -595,6 +641,135 @@ let perf_cmd =
        ~doc:"Performance-trajectory tools over metrics snapshots")
     [ diff_cmd ]
 
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt string (Cache.default_dir ())
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Cache directory to operate on (default: \
+             \\$XDG_CACHE_HOME/vpga, else ~/.cache/vpga).")
+  in
+  let stats_cmd =
+    let run dir =
+      match Cache.disk_stats ~dir with
+      | [] -> Format.printf "%s: no cache entries@." dir
+      | stages ->
+          Format.printf "%-14s %-16s %8s %12s@." "schema" "stage" "entries"
+            "bytes";
+          let entries = ref 0 and bytes = ref 0 in
+          List.iter
+            (fun s ->
+              entries := !entries + s.Cache.d_entries;
+              bytes := !bytes + s.Cache.d_bytes;
+              Format.printf "%-14s %-16s %8d %12d@." s.Cache.d_schema
+                s.Cache.d_stage s.Cache.d_entries s.Cache.d_bytes)
+            stages;
+          Format.printf "total: %d entries, %d bytes in %s@." !entries !bytes
+            dir
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Per-schema, per-stage entry counts and sizes of an on-disk cache \
+            (all schema generations, including stale ones).")
+      Term.(const run $ dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let n = Cache.disk_clear ~dir in
+      Format.printf "removed %d entr%s from %s@." n
+        (if n = 1 then "y" else "ies")
+        dir
+    in
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Remove every on-disk cache entry, of every schema generation.")
+      Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_bytes_arg =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"N"
+            ~doc:"Target store size in bytes.")
+    in
+    let run dir max_bytes =
+      let r = Cache.disk_gc ~dir ~max_bytes in
+      Format.printf
+        "kept %d entries (%d bytes), evicted %d entries (%d bytes)@."
+        r.Cache.gc_kept r.Cache.gc_kept_bytes r.Cache.gc_removed
+        r.Cache.gc_removed_bytes
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Evict least-recently-used entries (every hit refreshes its \
+            entry) until the store fits in $(b,--max-bytes).")
+      Term.(const run $ dir_arg $ max_bytes_arg)
+  in
+  let check_cmd =
+    let run paper seed =
+      let nl = design_of_name paper "alu" in
+      (* A private throwaway store: never touches the user's cache dir. *)
+      let dir =
+        let f = Filename.temp_file "vpga-cachecheck" "" in
+        Sys.remove f;
+        f
+      in
+      let archs = [ Arch.lut_plb; Arch.granular_plb ] in
+      let flow cache arch = run_flow ~seed ~cache arch nl in
+      let cold_cache = Cache.create ~dir () in
+      let cold = List.map (flow cold_cache) archs in
+      (* Fresh in-memory table: every warm hit must come from disk. *)
+      let warm_cache = Cache.create ~dir () in
+      let warm = List.map (flow warm_cache) archs in
+      let ws = Cache.stats warm_cache in
+      let identical = List.for_all2 (fun a b -> compare a b = 0) cold warm in
+      let entries = Cache.disk_clear ~dir in
+      let rec rm_tree d =
+        if Sys.file_exists d && Sys.is_directory d then begin
+          Array.iter (fun f -> rm_tree (Filename.concat d f)) (Sys.readdir d);
+          try Sys.rmdir d with Sys_error _ -> ()
+        end
+      in
+      rm_tree dir;
+      Format.printf
+        "cold run stored %d entr%s; warm run: %d hit(s) in %d lookup(s) \
+         (%.0f%% hit rate)@."
+        entries
+        (if entries = 1 then "y" else "ies")
+        ws.Cache.hits
+        (ws.Cache.hits + ws.Cache.misses)
+        (100.0 *. Cache.hit_rate ws);
+      if not identical then begin
+        Format.printf "cache check FAILED: warm outcomes differ from cold@.";
+        exit 1
+      end;
+      if ws.Cache.hits = 0 then begin
+        Format.printf "cache check FAILED: warm run hit nothing@.";
+        exit 1
+      end;
+      Format.printf "cache check ok: warm outcomes identical to cold@."
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Self-test the cache end to end: run a flow cold against a \
+            throwaway disk store, rerun it warm from a fresh process-level \
+            table, and verify the warm outcomes are identical with a \
+            nonzero hit rate.  Exits 1 on any divergence.")
+      Term.(const run $ paper_flag $ seed_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect, bound and validate the content-addressed stage cache \
+          (see $(b,--cache-dir) on flow/sweep/stress).")
+    [ stats_cmd; clear_cmd; gc_cmd; check_cmd ]
+
 let () =
   let doc = "VPGA logic-block granularity exploration (DATE 2004 reproduction)" in
   let info = Cmd.info "vpga" ~doc in
@@ -615,4 +790,5 @@ let () =
             export_cmd;
             report_cmd;
             perf_cmd;
+            cache_cmd;
           ]))

@@ -1,0 +1,69 @@
+(* Canonical byte encoder for cache-key derivation.
+
+   Every primitive writes a one-byte type tag followed by a
+   self-delimiting payload (length-prefixed strings, terminated decimal
+   integers, raw IEEE-754 bits for floats), so no two distinct feed
+   sequences can produce the same byte stream: [str "ab"; str "c"] and
+   [str "a"; str "bc"] differ by their length prefixes, [int 12; int 3]
+   and [int 1; int 23] by the terminators.  The stream is then hashed
+   with MD5 ([Stdlib.Digest]) — digests are a pure function of the fed
+   values, stable across processes, OCaml versions and architectures
+   (64-bit ints assumed, as everywhere else in the repo). *)
+
+type t = Buffer.t
+
+let create () = Buffer.create 256
+
+let str b s =
+  Buffer.add_char b 's';
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let int b i =
+  Buffer.add_char b 'i';
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let i64 b i =
+  Buffer.add_char b 'q';
+  Buffer.add_string b (Int64.to_string i);
+  Buffer.add_char b ';'
+
+(* Raw bit pattern: distinguishes -0.0 from 0.0 and maps every NaN
+   payload to its exact bits, so float keys never alias. *)
+let float b f =
+  Buffer.add_char b 'f';
+  Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let bool b v = Buffer.add_char b (if v then 'T' else 'F')
+
+let opt f b = function
+  | None -> Buffer.add_char b 'N'
+  | Some v ->
+      Buffer.add_char b 'S';
+      f b v
+
+let list f b l =
+  Buffer.add_char b 'L';
+  Buffer.add_string b (string_of_int (List.length l));
+  Buffer.add_char b ':';
+  List.iter (f b) l
+
+let int_array b a =
+  Buffer.add_char b 'A';
+  Buffer.add_string b (string_of_int (Array.length a));
+  Buffer.add_char b ':';
+  Array.iter
+    (fun i ->
+      Buffer.add_string b (string_of_int i);
+      Buffer.add_char b ',')
+    a
+
+let float_array b a =
+  Buffer.add_char b 'G';
+  Buffer.add_string b (string_of_int (Array.length a));
+  Buffer.add_char b ':';
+  Array.iter (fun f -> Buffer.add_int64_be b (Int64.bits_of_float f)) a
+
+let digest_hex b = Digest.to_hex (Digest.string (Buffer.contents b))

@@ -1,0 +1,30 @@
+(** Canonical byte encoder for cache-key derivation.
+
+    A sink of typed primitives whose byte stream is injective in the fed
+    value sequence: every write is tagged and self-delimiting, so
+    distinct sequences can never produce equal streams (no concatenation
+    aliasing).  {!digest_hex} hashes the stream with MD5; the result is
+    stable across runs and processes — the property the fixed-vector
+    digest tests pin down. *)
+
+type t
+
+val create : unit -> t
+
+val str : t -> string -> unit
+val int : t -> int -> unit
+val i64 : t -> int64 -> unit
+
+val float : t -> float -> unit
+(** Fed as raw IEEE-754 bits: [-0.0] and [0.0] differ, NaN payloads are
+    preserved. *)
+
+val bool : t -> bool -> unit
+val opt : (t -> 'a -> unit) -> t -> 'a option -> unit
+val list : (t -> 'a -> unit) -> t -> 'a list -> unit
+val int_array : t -> int array -> unit
+val float_array : t -> float array -> unit
+
+val digest_hex : t -> string
+(** MD5 of the stream so far, as 32 lowercase hex characters.  Does not
+    reset the encoder. *)

@@ -69,10 +69,17 @@ module Retry = Vpga_resil.Retry
 module Inject = Vpga_resil.Inject
 module Defect = Vpga_resil.Defect
 
+module Cache = Vpga_cache.Cache
+
+module Cachekey = Vpga_cache.Key
+module Cacheenc = Vpga_cache.Enc
+module Stagekey = Vpga_flow.Stagekey
+
 let classify_functions () = S3.census ()
 
-let run_flow ?seed ?period ?verify ?policy ?trace ?jobs ?analyze arch nl =
-  Flow.run ?seed ?period ?verify ?policy ?trace ?jobs ?analyze arch nl
+let run_flow ?seed ?period ?verify ?policy ?trace ?jobs ?analyze ?cache arch
+    nl =
+  Flow.run ?seed ?period ?verify ?policy ?trace ?jobs ?analyze ?cache arch nl
 
 let compare_architectures ?seed ?period ?verify nl =
   ( Flow.run ?seed ?period ?verify Arch.lut_plb nl,

@@ -96,6 +96,15 @@ module Retry = Vpga_resil.Retry
 module Inject = Vpga_resil.Inject
 module Defect = Vpga_resil.Defect
 
+module Cache = Vpga_cache.Cache
+(** Content-addressed stage cache: memoizes flow stage boundaries on
+    canonical input digests ({!Stagekey}); share one across sweeps to
+    skip repeated work with byte-identical outcomes. *)
+
+module Cachekey = Vpga_cache.Key
+module Cacheenc = Vpga_cache.Enc
+module Stagekey = Vpga_flow.Stagekey
+
 (** {1 One-call entry points} *)
 
 val classify_functions : unit -> S3.census
@@ -103,8 +112,8 @@ val classify_functions : unit -> S3.census
 
 val run_flow :
   ?seed:int -> ?period:float -> ?verify:Flow.verify -> ?policy:Policy.t ->
-  ?trace:Trace.t -> ?jobs:int -> ?analyze:bool -> Arch.t -> Netlist.t ->
-  Flow.pair
+  ?trace:Trace.t -> ?jobs:int -> ?analyze:bool -> ?cache:Cache.t ->
+  Arch.t -> Netlist.t -> Flow.pair
 (** Both flows (ASIC-style a, packed-array b) on one architecture.
     [verify] selects the verification level (default {!Flow.Fast});
     [policy] the retry-with-escalation policy (default

@@ -48,7 +48,7 @@ let task_seed ~seed name arch =
   !h land 0x3FFFFFFF
 
 let run_tasks_with_stats ?(seed = 1) ?jobs ?verify ?policy ?(traced = false)
-    ?analyze ?designs:ds scale =
+    ?analyze ?cache ?designs:ds scale =
   (* Populate every shared lazy table from this domain before workers
      race for them (Lazy.force is not domain-safe in OCaml 5). *)
   Config.prewarm ();
@@ -85,7 +85,7 @@ let run_tasks_with_stats ?(seed = 1) ?jobs ?verify ?policy ?(traced = false)
                  reflect the production flow — observational FlowMap
                  labeling would dominate [compact] at paper scale. *)
               (Flow.run ~seed:(task_seed ~seed name arch) ?verify ?policy
-                 ?analyze ~log ~trace ~trace_labels:false arch nl)
+                 ?analyze ?cache ~log ~trace ~trace_labels:false arch nl)
           with
           | Vpga_resil.Fail.Stage_failure f -> Error f
           | e ->
@@ -106,9 +106,10 @@ let run_tasks_with_stats ?(seed = 1) ?jobs ?verify ?policy ?(traced = false)
   in
   Vpga_par.Pool.run_stats ?jobs tasks
 
-let run_tasks ?seed ?jobs ?verify ?policy ?traced ?analyze ?designs scale =
+let run_tasks ?seed ?jobs ?verify ?policy ?traced ?analyze ?cache ?designs
+    scale =
   fst
-    (run_tasks_with_stats ?seed ?jobs ?verify ?policy ?traced ?analyze
+    (run_tasks_with_stats ?seed ?jobs ?verify ?policy ?traced ?analyze ?cache
        ?designs scale)
 
 let recovery reports =
@@ -138,8 +139,8 @@ let rows reports =
   in
   pair_up reports
 
-let run_all ?seed ?jobs ?verify ?policy scale =
-  rows (run_tasks ?seed ?jobs ?verify ?policy scale)
+let run_all ?seed ?jobs ?verify ?policy ?cache scale =
+  rows (run_tasks ?seed ?jobs ?verify ?policy ?cache scale)
 
 type headline = {
   datapath_area_reduction : float;

@@ -39,6 +39,7 @@ val run_tasks :
   ?policy:Vpga_resil.Policy.t ->
   ?traced:bool ->
   ?analyze:bool ->
+  ?cache:Vpga_cache.Cache.t ->
   ?designs:(string * Vpga_netlist.Netlist.t) list ->
   scale ->
   task_report list
@@ -58,7 +59,13 @@ val run_tasks :
 
     [analyze] is forwarded to each {!Flow.run}: the static dataflow
     analyses plus the region-ownership sanitizer, detection-only, so it
-    too changes no results. *)
+    too changes no results.
+
+    [cache] is forwarded to each {!Flow.run}: one
+    {!Vpga_cache.Cache.t} shared by every task on every worker domain
+    (the store is mutex-guarded), so stages repeated across tasks —
+    or across whole sweeps — compute once.  Results are unchanged by
+    construction: a hit replays the identical deterministic artifact. *)
 
 val run_tasks_with_stats :
   ?seed:int ->
@@ -67,6 +74,7 @@ val run_tasks_with_stats :
   ?policy:Vpga_resil.Policy.t ->
   ?traced:bool ->
   ?analyze:bool ->
+  ?cache:Vpga_cache.Cache.t ->
   ?designs:(string * Vpga_netlist.Netlist.t) list ->
   scale ->
   task_report list * Vpga_par.Pool.stats
@@ -87,6 +95,7 @@ val run_all :
   ?jobs:int ->
   ?verify:Flow.verify ->
   ?policy:Vpga_resil.Policy.t ->
+  ?cache:Vpga_cache.Cache.t ->
   scale ->
   row list
 (** [rows (run_tasks ...)]: both architectures through both flows on

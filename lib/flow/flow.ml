@@ -28,6 +28,8 @@ module Log = Vpga_resil.Log
 module Retry = Vpga_resil.Retry
 module Trace = Vpga_obs.Trace
 module Attr = Vpga_obs.Span
+module Cache = Vpga_cache.Cache
+module Ckey = Vpga_cache.Key
 
 type kind = Flow_a | Flow_b
 
@@ -72,7 +74,7 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     ?anneal_iterations ?(refine = true) ?(use_criticality = true)
     ?(jobs = 1) ?(verify = Fast) ?(policy = Policy.default) ?log
     ?(trace = Trace.null) ?(trace_labels = true) ?(analyze = false) ?defect
-    arch nl =
+    ?(cache = Cache.none) arch nl =
   let design = Netlist.design_name nl in
   let log = match log with Some l -> l | None -> Log.create () in
   (* An empty defect map is the healthy fabric: normalize it away so the
@@ -83,6 +85,26 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
   in
   let track_fn = Option.map Defect.tracks defect in
   let dead_tile_fn = Option.map Defect.tile_dead defect in
+  (* Content-addressed memoization of the stage boundaries.  Every key is
+     built in [Stagekey] from the digests of the stage's actual inputs,
+     so a hit is exactly a rerun of the same deterministic computation;
+     values revive as fresh copies ([Cache]'s put-time serialization), so
+     the flow's in-place mutation of placements never reaches an entry. *)
+  let keyed = Cache.enabled cache in
+  let opts =
+    {
+      Stagekey.seed;
+      period;
+      utilization;
+      anneal_iterations;
+      use_criticality;
+      verify = (match verify with Off -> 0 | Fast -> 1 | Formal -> 2);
+      policy;
+      defect;
+    }
+  in
+  let d_nl = lazy (Ckey.netlist_hex nl) in
+  let d_arch = lazy (Ckey.arch_hex arch) in
   (* Every stage boundary opens a span on [trace]; [Trace.with_span] also
      installs the trace as the domain's ambient sink, so counters emitted
      deep inside the annealer / PathFinder / SAT / cut enumeration land in
@@ -108,6 +130,34 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
           ~attrs:[ ("stage", Attr.Str stage); ("detail", Attr.Str detail) ]
           trace name)
       (Log.timed log)
+  in
+  (* [cmemo stage mk compute]: look the stage up under [mk ()]'s key; on
+     a hit, replay the recovery events its compute recorded (so warm
+     summaries match cold ones) and mark the timeline; on a miss, run
+     [compute] and store its value together with the event suffix it
+     appended to [log].  Failures propagate and are never cached. *)
+  let cmemo : 'a. string -> (unit -> Ckey.t) -> (unit -> 'a) -> 'a =
+   fun stage mk compute ->
+    if not keyed then compute ()
+    else
+      let k = mk () in
+      match Cache.find cache k with
+      | Some (v, events) ->
+          List.iter (Log.record log) events;
+          Trace.instant ~attrs:[ ("stage", Attr.Str stage) ] trace "cache:hit";
+          v
+      | None ->
+          let before = List.length (Log.events log) in
+          let v = compute () in
+          let suffix =
+            let rec drop n l =
+              if n <= 0 then l
+              else match l with [] -> [] | _ :: t -> drop (n - 1) t
+            in
+            drop before (Log.events log)
+          in
+          Cache.put cache k (v, suffix);
+          v
   in
   let vfast = verify <> Off in
   let vformal = verify = Formal in
@@ -200,6 +250,17 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     if vfast then guard stage (fun () -> check_equivalence nl candidate);
     if vformal then formal_prove stage candidate
   in
+  (* Cached equivalence gate: the simulation + SAT work dominates these
+     spans; the structural check stays live as a per-run spot check.
+     With verification off the gate is a no-op, so nothing is cached. *)
+  let equiv_gate stage candidate d_candidate =
+    if vfast then
+      cmemo stage
+        (fun () ->
+          Stagekey.verify_gate ~stage ~source:(Lazy.force d_nl)
+            ~candidate:(Lazy.force d_candidate) opts)
+        (fun () -> equiv stage candidate)
+  in
   let phys stage check =
     if vfast then
       span stage (fun () ->
@@ -222,10 +283,17 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
             Diag.fail_on_errors ~stage:"analyze:input" (Analysis.diags a)));
   let gate_count = Stats.gate_count nl in
   (* Front-end: map, compact, buffer. *)
-  let mapped = span "map" (fun () -> Techmap.map arch nl) in
+  let mapped =
+    span "map" (fun () ->
+        cmemo "map"
+          (fun () ->
+            Stagekey.map ~nl:(Lazy.force d_nl) ~arch:(Lazy.force d_arch) opts)
+          (fun () -> Techmap.map arch nl))
+  in
+  let d_mapped = lazy (Ckey.netlist_hex mapped) in
   span "verify:techmap" (fun () ->
       structure "verify:techmap" mapped;
-      equiv "verify:techmap" mapped);
+      equiv_gate "verify:techmap" mapped d_mapped);
   let compacted, compaction_gain =
     span "compact" (fun () ->
         (* Traced runs go through [run_traced]: same cover at the same pass
@@ -235,9 +303,14 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
            that trace for stage {e timings} (the bench sweep) opt out via
            [trace_labels:false]. *)
         let compacted =
-          if trace_labels && Trace.enabled trace then
-            fst (Compact.run_traced arch nl)
-          else Compact.run arch nl
+          cmemo "compact"
+            (fun () ->
+              Stagekey.compact ~nl:(Lazy.force d_nl)
+                ~arch:(Lazy.force d_arch) opts)
+            (fun () ->
+              if trace_labels && Trace.enabled trace then
+                fst (Compact.run_traced arch nl)
+              else Compact.run arch nl)
         in
         let before = Techmap.cell_area mapped in
         let gain =
@@ -246,28 +319,52 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
         in
         (compacted, gain))
   in
+  let d_compacted = lazy (Ckey.netlist_hex compacted) in
   span "verify:compact" (fun () ->
       structure "verify:compact" compacted;
-      equiv "verify:compact" compacted);
+      equiv_gate "verify:compact" compacted d_compacted);
   let buffered, cell_area, config_histogram =
     span "buffer" (fun () ->
-        let buffered = Buffering.insert ~max_fanout:8 compacted in
+        let buffered =
+          cmemo "buffer"
+            (fun () ->
+              Stagekey.buffer ~compacted:(Lazy.force d_compacted)
+                ~max_fanout:8 opts)
+            (fun () -> Buffering.insert ~max_fanout:8 compacted)
+        in
         ( buffered,
           Techmap.cell_area buffered,
           Compact.config_histogram buffered ))
   in
+  let d_buffered = lazy (Ckey.netlist_hex buffered) in
   span "verify:buffer" (fun () ->
       structure "verify:buffer" buffered;
-      equiv "verify:buffer" buffered);
+      equiv_gate "verify:buffer" buffered d_buffered);
   Trace.set trace "flow.gate_count" gate_count;
   Trace.set trace "flow.cells" (float_of_int (Netlist.size buffered));
-  (* Placement (shared). *)
+  (* Placement (shared).  The cached value is the coordinate arrays:
+     [Placement.create] (graph construction) reruns on a hit — cheap —
+     and the coordinates blit into the fresh placement, so downstream
+     mutation (annealing, snapping) works on this run's own arrays. *)
   let pl =
     span "place:global" (fun () ->
         let pl = Placement.create ~utilization buffered in
-        Global.place ~seed pl;
+        let px, py =
+          cmemo "place:global"
+            (fun () ->
+              Stagekey.place_global ~buffered:(Lazy.force d_buffered) opts)
+            (fun () ->
+              Global.place ~seed pl;
+              (pl.Placement.x, pl.Placement.y))
+        in
+        (* A miss hands back [pl]'s own arrays; only a hit needs the blit. *)
+        if px != pl.Placement.x then begin
+          Array.blit px 0 pl.Placement.x 0 (Array.length px);
+          Array.blit py 0 pl.Placement.y 0 (Array.length py)
+        end;
         pl)
   in
+  let d_pl_global = if keyed then Stagekey.placement_hex pl else "" in
   (* Criticality from a pre-route timing estimate. *)
   let crit =
     span "sta:pre" (fun () ->
@@ -326,11 +423,28 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
                { stage; what = reason ^ "; keeping the pre-anneal placement" })
       end
     in
-    go 0 policy.Policy.anneal_t_start
+    let ax, ay =
+      cmemo stage
+        (fun () ->
+          Stagekey.place_anneal ~buffered:(Lazy.force d_buffered)
+            ~pl:d_pl_global opts)
+        (fun () ->
+          go 0 policy.Policy.anneal_t_start;
+          (pl.Placement.x, pl.Placement.y))
+    in
+    if ax != pl.Placement.x then begin
+      Array.blit ax 0 pl.Placement.x 0 n;
+      Array.blit ay 0 pl.Placement.y 0 n
+    end
   in
   phys "verify:placement(a)" (fun () -> Phys.check_placement pl);
+  let d_pl = if keyed then Stagekey.placement_hex pl else "" in
   let activities =
-    span "power:activities" (fun () -> Power.activities ~seed:(seed + 7) buffered)
+    span "power:activities" (fun () ->
+        cmemo "power:activities"
+          (fun () ->
+            Stagekey.activities ~buffered:(Lazy.force d_buffered) opts)
+          (fun () -> Power.activities ~seed:(seed + 7) buffered))
   in
   (* Global + detailed routing under the escalation ladder: leftover
      channel overflow or a track-assignment conflict buys the next
@@ -402,8 +516,17 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
     in
     go 0 policy.Policy.route_capacity
   in
+  (* Caches the whole escalation ladder — global routing, detailed
+     routing, the embedded track gate — as one entry per placement. *)
+  let cached_route tag pl_for d_pl_for =
+    cmemo ("route:" ^ tag)
+      (fun () ->
+        Stagekey.route ~tag ~buffered:(Lazy.force d_buffered) ~pl:d_pl_for
+          opts)
+      (fun () -> route_stage tag pl_for)
+  in
   (* ---- Flow a: ASIC-style ---- *)
-  let routed_a, vias_a = span "route:a" (fun () -> route_stage "a" pl) in
+  let routed_a, vias_a = span "route:a" (fun () -> cached_route "a" pl d_pl) in
   phys "verify:routing(a)" (fun () -> Phys.check_routing routed_a pl);
   let wire_a, sta_a =
     span "sta:a" (fun () ->
@@ -442,6 +565,11 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
   let q =
     span "pack:quadrisect" @@ fun () ->
     let stage = "pack:quadrisect" in
+    cmemo stage
+      (fun () ->
+        Stagekey.quadrisect ~arch:(Lazy.force d_arch)
+          ~buffered:(Lazy.force d_buffered) ~pl:d_pl opts)
+    @@ fun () ->
     let rec go attempt utilization =
       match
         Quadrisect.legalize_result ~utilization ~criticality:crit
@@ -516,31 +644,51 @@ let run ?(seed = 1) ?(period = 500.0) ?(utilization = 0.7)
           guard "analyze:regions" (fun () ->
               Diag.fail_on_errors ~stage:"analyze:regions" r.Ownership.diags));
     span "pack:refine" (fun () ->
-        try
-          ignore
-            (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
-               ~iterations:(min 400_000 (60 * Netlist.size buffered))
-               ~jobs ~regions ~sanitize:analyze ?dead_tile:dead_pred q pl_b)
-        with
-        | Vpga_pack.Refine.Infeasible msg ->
-            Fail.raise_
-              (Fail.make ~stage:"pack:refine" ~design ~attempts:1
-                 ~diags:[ Diag.error "pack-infeasible" "%s" msg ]
-                 ~events:(Log.strings log) ())
-        | Vpga_plb.Occupancy.Race { owner; writer } ->
-            Fail.raise_
-              (Fail.make ~stage:"pack:refine" ~design ~attempts:1
-                 ~diags:
-                   [
-                     Diag.error "region-race"
-                       "cross-region occupancy write: tile owned by region \
-                        %d mutated by region %d's walk"
-                       owner writer;
-                   ]
-                 ~events:(Log.strings log) ()))
+        (* [Refine.run] mutates exactly the tile assignment and the
+           snapped coordinates, so that triple is the cached value; a hit
+           blits it over this run's packing. *)
+        let tiles, rx, ry =
+          cmemo "pack:refine"
+            (fun () ->
+              Stagekey.refine ~buffered:(Lazy.force d_buffered)
+                ~q:(Stagekey.quad_hex q) opts)
+            (fun () ->
+              (try
+                 ignore
+                   (Vpga_pack.Refine.run ~criticality:crit ~seed:(seed + 2)
+                      ~iterations:(min 400_000 (60 * Netlist.size buffered))
+                      ~jobs ~regions ~sanitize:analyze ?dead_tile:dead_pred q
+                      pl_b)
+               with
+              | Vpga_pack.Refine.Infeasible msg ->
+                  Fail.raise_
+                    (Fail.make ~stage:"pack:refine" ~design ~attempts:1
+                       ~diags:[ Diag.error "pack-infeasible" "%s" msg ]
+                       ~events:(Log.strings log) ())
+              | Vpga_plb.Occupancy.Race { owner; writer } ->
+                  Fail.raise_
+                    (Fail.make ~stage:"pack:refine" ~design ~attempts:1
+                       ~diags:
+                         [
+                           Diag.error "region-race"
+                             "cross-region occupancy write: tile owned by \
+                              region %d mutated by region %d's walk"
+                             owner writer;
+                         ]
+                       ~events:(Log.strings log) ()));
+              (q.Quadrisect.tile_of_node, pl_b.Placement.x, pl_b.Placement.y))
+        in
+        if tiles != q.Quadrisect.tile_of_node then begin
+          Array.blit tiles 0 q.Quadrisect.tile_of_node 0 (Array.length tiles);
+          Array.blit rx 0 pl_b.Placement.x 0 (Array.length rx);
+          Array.blit ry 0 pl_b.Placement.y 0 (Array.length ry)
+        end)
   end;
   phys "verify:placement(b)" (fun () -> Phys.check_placement pl_b);
-  let routed_b, vias_b = span "route:b" (fun () -> route_stage "b" pl_b) in
+  let d_pl_b = if keyed then Stagekey.placement_hex pl_b else "" in
+  let routed_b, vias_b =
+    span "route:b" (fun () -> cached_route "b" pl_b d_pl_b)
+  in
   phys "verify:routing(b)" (fun () -> Phys.check_routing routed_b pl_b);
   let wire_b, sta_b =
     span "sta:b" (fun () ->

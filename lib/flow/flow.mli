@@ -67,6 +67,7 @@ val run :
   ?trace_labels:bool ->
   ?analyze:bool ->
   ?defect:Vpga_resil.Defect.t ->
+  ?cache:Vpga_cache.Cache.t ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   pair
@@ -129,6 +130,19 @@ val run :
     detailed routing skips dead tracks, and the physical checkers verify
     no artifact uses a defective resource.  An empty map is normalized
     away, so results are bit-identical to a run without the argument.
+
+    [cache] (default {!Vpga_cache.Cache.none}, i.e. disabled) memoizes
+    every stage boundary content-addressed on the stage's actual inputs
+    (netlist structural digest, architecture digest, seeds, policy,
+    verify level, defect-map fingerprint — see {!Stagekey}): rerunning
+    an identical (sub)flow replays stored artifacts instead of
+    recomputing them, with byte-identical outcomes — the flow is
+    deterministic, so a hit is exactly a rerun.  Recovery events
+    recorded during a cached compute replay into [log] on a hit, and
+    each hit marks the trace timeline with a [cache:hit] instant plus
+    [cache.*] counters.  A shared cache is safe across worker domains.
+    Cheap stages (STA, power estimates, structural and physical checks)
+    stay live and double as per-run spot checks of revived artifacts.
 
     @raise Vpga_resil.Fail.Stage_failure when an enabled verification
     check finds a violation or a stage exhausts its retry policy; the

@@ -41,6 +41,7 @@ val search :
   ?log:Vpga_resil.Log.t ->
   ?trace:Vpga_obs.Trace.t ->
   ?defect:Vpga_resil.Defect.t ->
+  ?cache:Vpga_cache.Cache.t ->
   Vpga_plb.Arch.t ->
   Vpga_netlist.Netlist.t ->
   search_result
@@ -51,6 +52,14 @@ val search :
     sweep task that cannot even pack fails in isolation.  Probes are
     memoized per capacity and traced as [minchan:probe] spans with a
     [minchan.probes] counter.
+
+    With [cache], the defect-independent front-end stages feed the same
+    content-addressed keys {!Flow.run} builds (identical computes), so
+    the sweep's defect maps share one front-end per (design, arch) and
+    a stress sweep shares work with a paper sweep; the defect-dependent
+    legalization and the routing probes key on the defect map's full
+    fingerprint.  The [probes] count records {e requested} probes —
+    identical whether the cache serves them or not.
     @raise Vpga_resil.Fail.Stage_failure when legalization exhausts the
     policy's relaxation ladder.
     @raise Invalid_argument when [w_max < 1]. *)
@@ -106,6 +115,7 @@ val stress :
   ?maps_per_rate:int ->
   ?w_max:int ->
   ?traced:bool ->
+  ?cache:Vpga_cache.Cache.t ->
   ?designs:(string * Vpga_netlist.Netlist.t) list ->
   Experiments.scale ->
   report

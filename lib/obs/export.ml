@@ -449,6 +449,18 @@ let report fmt doc =
       (fun (name, v) -> Format.fprintf fmt "%-28s %12.0f@." name v)
       su.su_counters
   end;
+  (* The stage cache publishes cache.hits/cache.misses like any other
+     counter; the derived rate earns a line because it is the number a
+     perf investigation actually wants. *)
+  (let v name =
+     Option.value ~default:0.0 (List.assoc_opt name su.su_counters)
+   in
+   let hits = v "cache.hits" and misses = v "cache.misses" in
+   let lookups = hits +. misses in
+   if lookups > 0.0 then
+     Format.fprintf fmt "@.cache hit rate %.1f%% (%.0f of %.0f lookups)@."
+       (100.0 *. hits /. lookups)
+       hits lookups);
   if su.su_series <> [] then begin
     Format.fprintf fmt "@.%-28s %12s %12s@." "series" "samples" "last";
     List.iter
@@ -490,6 +502,20 @@ let report_json doc =
              su.su_spans) );
       ( "counters",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) su.su_counters) );
+      ( "cache",
+        let v name =
+          Option.value ~default:0.0 (List.assoc_opt name su.su_counters)
+        in
+        let hits = v "cache.hits" and misses = v "cache.misses" in
+        let lookups = hits +. misses in
+        Json.Obj
+          [
+            ("hits", Json.Num hits);
+            ("misses", Json.Num misses);
+            ("bytes", Json.Num (v "cache.bytes"));
+            ( "hit_rate",
+              Json.Num (if lookups > 0.0 then hits /. lookups else 0.0) );
+          ] );
       ( "series",
         Json.Obj
           (List.map

@@ -45,7 +45,9 @@ val write_snapshot : ?label:string -> string -> Trace.t list -> unit
 val report : Format.formatter -> Json.t -> unit
 (** The per-stage summary of a Chrome trace-event document: a span table
     (calls, total time, share of root wall time, minor allocation), the
-    counter totals, series sample counts, and the instant-event counts. *)
+    counter totals — including the stage cache's [cache.*] counters,
+    with a derived hit-rate line when any lookups happened — series
+    sample counts, and the instant-event counts. *)
 
 val report_json : Json.t -> Json.t
 (** The same aggregation as {!report} but machine-readable (schema
